@@ -1,0 +1,46 @@
+// Command complexity prints the structural hardware account of one bank
+// controller next to the paper's Table 1 synthesis summary, and the PLA
+// scaling behaviour of Section 4.3.1.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pva"
+	"pva/internal/complexity"
+)
+
+func main() {
+	est, err := pva.Complexity(pva.PaperComplexityParams())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "complexity: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Structural account of one bank controller (prototype parameters):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  staging RAM\t%d bytes\t(Table 1: 2048 bytes on-chip RAM)\n", est.StagingRAMBytes)
+	fmt.Fprintf(w, "  register file\t%d bits\n", est.RegisterFileBits)
+	fmt.Fprintf(w, "  vector contexts\t%d bits\n", est.VCBits)
+	fmt.Fprintf(w, "  restimers\t%d bits\n", est.RestimerBits)
+	fmt.Fprintf(w, "  FirstHit PLA\t%d entries\t(full K_i organization)\n", est.PLAEntries)
+	fmt.Fprintf(w, "  wired-OR lines\t%d\n", est.WiredORLines)
+	tot := est.Totals()
+	fmt.Fprintf(w, "  total register bits\t%d\t(Table 1: 1039 D flip-flops)\n", tot.FlipFlops)
+	w.Flush()
+
+	fmt.Println("\nPaper Table 1 (unoptimized Xilinx FPGA synthesis, per controller):")
+	for _, row := range complexity.PaperTable1 {
+		fmt.Printf("  %-22s %d\n", row.Type, row.Count)
+	}
+
+	fmt.Println("\nFirstHit PLA scaling with bank count (Section 4.3.1):")
+	banks := []uint32{4, 8, 16, 32, 64, 128}
+	k1 := complexity.PLAScaling(complexity.K1PLA, banks)
+	full := complexity.PLAScaling(complexity.FullPLA, banks)
+	fmt.Printf("  %-8s %-12s %s\n", "banks", "K1 (linear)", "full K_i (quadratic)")
+	for i, m := range banks {
+		fmt.Printf("  %-8d %-12d %d\n", m, k1[i], full[i])
+	}
+}

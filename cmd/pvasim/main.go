@@ -1,0 +1,69 @@
+// Command pvasim runs one kernel on one memory system and prints the
+// cycle count and activity statistics.
+//
+// Usage:
+//
+//	pvasim -kernel copy -stride 19 -align 0 -system pva-sdram
+//	pvasim -kernel vaxpy -stride 16 -elements 256 -system all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pva"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "copy", "kernel: copy, copy2, saxpy, scale, scale2, swap, tridiag, vaxpy")
+		stride   = flag.Uint("stride", 1, "element stride in words")
+		align    = flag.Int("align", 0, "relative vector alignment (0-4)")
+		elements = flag.Uint("elements", 1024, "elements per application vector (multiple of 32)")
+		system   = flag.String("system", "all", "pva-sdram, cacheline-serial, gathering-serial, pva-sram, or all")
+	)
+	flag.Parse()
+
+	kinds := map[string]pva.SystemKind{
+		"pva-sdram":        pva.PVASDRAM,
+		"cacheline-serial": pva.CacheLineSerial,
+		"gathering-serial": pva.GatheringSerial,
+		"pva-sram":         pva.PVASRAM,
+	}
+	var run []pva.SystemKind
+	if *system == "all" {
+		run = []pva.SystemKind{pva.PVASDRAM, pva.CacheLineSerial, pva.GatheringSerial, pva.PVASRAM}
+	} else {
+		k, ok := kinds[*system]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pvasim: unknown system %q\n", *system)
+			os.Exit(2)
+		}
+		run = []pva.SystemKind{k}
+	}
+
+	p := pva.PaperParams(uint32(*stride), *align)
+	p.Elements = uint32(*elements)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds\n")
+	var base uint64
+	for i, kind := range run {
+		pt, err := pva.RunKernel(kind, *kernel, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvasim: %v\n", err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			base = pt.Cycles
+		}
+		fmt.Fprintf(w, "%s\t%d (%.0f%%)\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			kind, pt.Cycles, 100*float64(pt.Cycles)/float64(base),
+			pt.Stats.SDRAMReads, pt.Stats.SDRAMWrites,
+			pt.Stats.Activates, pt.Stats.Precharges, pt.Stats.RowHits,
+			pt.Stats.BusBusyCycles, pt.Stats.TurnaroundCycles)
+	}
+	w.Flush()
+}

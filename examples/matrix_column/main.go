@@ -1,0 +1,82 @@
+// Matrix column walk: the motivating workload of the paper's
+// introduction. A row-major matrix accessed along a column turns every
+// element into its own cache line on a conventional memory system; the
+// PVA gathers only the wanted words and runs the banks in parallel.
+//
+//	go run ./examples/matrix_column
+package main
+
+import (
+	"fmt"
+
+	"pva"
+)
+
+const (
+	rows = 256
+	cols = 512 // row-major: walking a column means stride = 512 words
+	base = 1 << 20
+)
+
+func main() {
+	// Read one full column = 256 elements at stride `cols`, issued as
+	// eight 32-element vector commands (one L2 line each).
+	var cmds []pva.VectorCmd
+	for k := uint32(0); k < rows/32; k++ {
+		cmds = append(cmds, pva.VectorCmd{
+			Op: pva.Read,
+			V:  pva.Vector{Base: base + 7 + k*32*cols, Stride: cols, Length: 32}, // column 7
+		})
+	}
+	trace := pva.Trace{Cmds: cmds}
+
+	fmt.Printf("column walk: %d elements, stride %d words\n\n", rows, cols)
+	fmt.Printf("%-18s %10s %14s\n", "system", "cycles", "vs pva-sdram")
+	var pvaCycles uint64
+	for _, mk := range []struct {
+		name string
+		sys  func() (pva.System, error)
+	}{
+		{"pva-sdram", func() (pva.System, error) { return pva.NewSystem(pva.DefaultConfig()) }},
+		{"cacheline-serial", func() (pva.System, error) { return pva.NewCacheLineSerial(), nil }},
+		{"gathering-serial", func() (pva.System, error) { return pva.NewGatheringSerial(), nil }},
+		{"pva-sram", func() (pva.System, error) { return pva.NewSRAMSystem(pva.DefaultConfig()) }},
+	} {
+		sys, err := mk.sys()
+		if err != nil {
+			panic(err)
+		}
+		res, err := sys.Run(trace)
+		if err != nil {
+			panic(err)
+		}
+		if mk.name == "pva-sdram" {
+			pvaCycles = res.Cycles
+		}
+		fmt.Printf("%-18s %10d %13.1fx\n", mk.name, res.Cycles,
+			float64(res.Cycles)/float64(pvaCycles))
+	}
+
+	// Why: stride 512 is 0 mod 16 banks, so all elements land in ONE
+	// bank — the PVA's worst case — yet the conventional system still
+	// drags a whole 128-byte line per element across the bus.
+	fmt.Println("\nnote: stride 512 ≡ 0 (mod 16) collapses onto one bank — the PVA's")
+	fmt.Println("worst case — and it still wins by avoiding whole-line transfers.")
+
+	// A diagonal walk (stride cols+1 = 513 ≡ 1 mod 16) restores full
+	// 16-bank parallelism.
+	var diag []pva.VectorCmd
+	for k := uint32(0); k < rows/32; k++ {
+		diag = append(diag, pva.VectorCmd{
+			Op: pva.Read,
+			V:  pva.Vector{Base: base + k*32*(cols+1), Stride: cols + 1, Length: 32},
+		})
+	}
+	sys, _ := pva.NewSystem(pva.DefaultConfig())
+	res, err := sys.Run(pva.Trace{Cmds: diag})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ndiagonal walk (stride %d, 16-way parallel): %d cycles on pva-sdram\n",
+		cols+1, res.Cycles)
+}

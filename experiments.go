@@ -1,0 +1,94 @@
+// Experiment-facing API: kernels, sweeps and figure rendering, re-
+// exported from the internal harness so downstream users can regenerate
+// the paper's evaluation programmatically.
+
+package pva
+
+import (
+	"io"
+
+	"pva/internal/harness"
+	"pva/internal/kernels"
+)
+
+// Kernel is one of the paper's evaluation workloads (Table 2).
+type Kernel = kernels.Kernel
+
+// KernelParams selects stride, vector length and relative alignment.
+type KernelParams = kernels.Params
+
+// SweepPoint is one measured (kernel, stride, alignment, system) cell.
+type SweepPoint = harness.Point
+
+// SystemKind enumerates the four memory systems of the evaluation.
+type SystemKind = harness.SystemKind
+
+// The four memory systems of Section 6.1.
+const (
+	PVASDRAM        = harness.PVASDRAM
+	CacheLineSerial = harness.CacheLineSerial
+	GatheringSerial = harness.GatheringSerial
+	PVASRAM         = harness.PVASRAM
+)
+
+// Kernels returns the eight access patterns of the evaluation: copy,
+// copy2, saxpy, scale, scale2, swap, tridiag, vaxpy.
+func Kernels() []Kernel { return kernels.All() }
+
+// KernelByName looks a kernel up by name.
+func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
+
+// PaperParams returns the Section 6.2 defaults (1024-element vectors on
+// the prototype machine) for a stride and alignment in [0, 5).
+func PaperParams(stride uint32, alignment int) KernelParams {
+	return kernels.PaperParams(stride, alignment)
+}
+
+// AlignmentCount is the number of relative vector alignments swept.
+const AlignmentCount = kernels.Alignments
+
+// AlignmentName names an alignment scheme.
+func AlignmentName(a int) string { return kernels.AlignmentName(a) }
+
+// PaperStrides returns the strides of Figures 7-10: 1, 2, 4, 8, 16, 19.
+func PaperStrides() []uint32 { return harness.PaperStrides() }
+
+// RunKernel builds the kernel's trace for the given parameters and runs
+// it on a fresh instance of the chosen system.
+func RunKernel(kind SystemKind, kernel string, p KernelParams) (SweepPoint, error) {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	r := harness.Runner{Elements: p.Elements}
+	return r.RunPoint(k, p.Stride, p.Alignment, kind)
+}
+
+// Sweep measures kernels x strides x alignments x systems. Nil slices
+// select the paper's full sets. Verify replays every point against the
+// functional reference.
+func Sweep(kernelNames []string, strides []uint32, systems []SystemKind, verify bool) ([]SweepPoint, error) {
+	r := harness.Runner{Verify: verify}
+	return r.Sweep(kernelNames, strides, systems)
+}
+
+// Figures writes the text form of every evaluation figure (7-11) plus
+// the headline ratios for a full sweep's points.
+func Figures(w io.Writer, points []SweepPoint) {
+	coll := harness.Collate(points)
+	for _, k := range harness.Figure7Kernels() {
+		harness.RenderStrideChart(w, coll, k, harness.PaperStrides())
+	}
+	for _, k := range harness.Figure8Kernels() {
+		harness.RenderStrideChart(w, coll, k, harness.PaperStrides())
+	}
+	names := harness.KernelsIn(points)
+	for _, s := range harness.Figure9Strides() {
+		harness.RenderKernelChart(w, coll, s, names)
+	}
+	for _, s := range harness.Figure10Strides() {
+		harness.RenderKernelChart(w, coll, s, names)
+	}
+	harness.RenderAlignmentDetail(w, points, "vaxpy", harness.PaperStrides())
+	harness.RenderHeadlines(w, harness.Headlines(coll))
+}

@@ -1,0 +1,99 @@
+// Extension-facing API: the vector-indirect scatter/gather and
+// bit-reversal capabilities the paper's conclusion sketches, plus the
+// SplitVector paging front end and the hardware complexity accounting.
+
+package pva
+
+import (
+	"pva/internal/bitrev"
+	"pva/internal/complexity"
+	"pva/internal/core"
+	"pva/internal/indirect"
+	"pva/internal/shadow"
+	"pva/internal/vcmd"
+)
+
+// ShadowSpace is the Impulse-style remapping table of Section 3.2: a
+// dense shadow region whose cache-line fills the controller turns into
+// base-stride gathers of real memory.
+type ShadowSpace = shadow.Space
+
+// ShadowMapping is one shadow region configuration.
+type ShadowMapping = shadow.Mapping
+
+// NewShadowSpace validates and indexes shadow mappings.
+func NewShadowSpace(maps []ShadowMapping) (*ShadowSpace, error) { return shadow.New(maps) }
+
+// IndirectEngine performs two-phase vector-indirect scatter/gather
+// (Section 7): phase one loads the indirection vector, phase two
+// broadcasts the resolved addresses, which every bank claims by bit
+// mask and services in parallel.
+type IndirectEngine = indirect.Engine
+
+// IndirectResult reports one indirect operation.
+type IndirectResult = indirect.Result
+
+// NewIndirectEngine returns an engine with the paper's prototype
+// parameters over a fresh store.
+func NewIndirectEngine() *IndirectEngine {
+	return indirect.MustNew(indirect.PaperConfig())
+}
+
+// BitReverse reverses the low `bits` bits of x — the FFT reordering
+// pattern of Section 7.
+func BitReverse(x uint32, bits uint) uint32 { return bitrev.Reverse(x, bits) }
+
+// BitRevAddresses returns the bit-reversed application vector: element
+// i at base + BitReverse(i, bits)*scale words.
+func BitRevAddresses(base uint32, bits uint, scale uint32) []uint32 {
+	return bitrev.Addresses(base, bits, scale)
+}
+
+// BitRevAnalysis quantifies the bank parallelism available to a
+// bit-reversed access stream under a bank-decode function.
+type BitRevAnalysis = bitrev.Analysis
+
+// AnalyzeBitRev reports distinct banks touched per line-sized chunk.
+func AnalyzeBitRev(addrs []uint32, chunkLen int, bank func(uint32) uint32) BitRevAnalysis {
+	return bitrev.Analyze(addrs, chunkLen, bank)
+}
+
+// TLB is the memory controller's superpage table (Section 4.3.2).
+type TLB = vcmd.TLB
+
+// TLBMapping is one superpage mapping.
+type TLBMapping = vcmd.Mapping
+
+// NewTLB validates and indexes superpage mappings.
+func NewTLB(maps []TLBMapping) (*TLB, error) { return vcmd.NewTLB(maps) }
+
+// IdentityTLB identity-maps [0, words) at the given superpage size.
+func IdentityTLB(words, pageWords uint32) *TLB { return vcmd.Identity(words, pageWords) }
+
+// SplitVector breaks a virtual-space vector into physical per-superpage
+// vector commands using the paper's division-free lower-bound split.
+func SplitVector(t *TLB, v Vector) ([]Vector, error) {
+	subs, err := vcmd.SplitVector(t, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Vector, len(subs))
+	for i, s := range subs {
+		out[i] = core.Vector(s)
+	}
+	return out, nil
+}
+
+// ComplexityParams are the bank-controller design parameters whose
+// structural cost Complexity accounts for (the Table 1 substitute).
+type ComplexityParams = complexity.Params
+
+// ComplexityEstimate is the structural account.
+type ComplexityEstimate = complexity.Estimate
+
+// Complexity computes the structural hardware account of one bank
+// controller.
+func Complexity(p ComplexityParams) (ComplexityEstimate, error) { return complexity.New(p) }
+
+// PaperComplexityParams is the prototype configuration.
+func PaperComplexityParams() ComplexityParams { return complexity.PaperParams() }

@@ -1,0 +1,3 @@
+module pva
+
+go 1.22

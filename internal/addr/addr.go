@@ -1,0 +1,224 @@
+// Package addr implements the address-mapping substrate of the PVA memory
+// system: word/cache-line/block interleaving across banks, the DecodeBank
+// bit-select of the paper's Section 4.1.1, the logical-bank transform of
+// Section 4.1.3 (which turns a W x N x M physical organization into WNM
+// logical banks with W = N = 1), and the decomposition of a per-bank word
+// index into SDRAM column / internal-bank / row coordinates.
+//
+// Throughout the simulator an address is a 32-bit *word* address (one word
+// = 4 bytes), matching the paper's convention of measuring strides in
+// machine words.
+package addr
+
+import "fmt"
+
+// Word is a 32-bit word address. The physical byte address is Word * 4.
+type Word = uint32
+
+// BytesPerWord is the machine word size of the modeled MIPS R10000 system.
+const BytesPerWord = 4
+
+// Interleave maps word addresses to memory banks. All schemes in this
+// package require the bank count to be a power of two so that DecodeBank
+// reduces to a bit-select, as the hardware demands.
+type Interleave interface {
+	// Bank returns the bank holding addr.
+	Bank(a Word) uint32
+	// Banks returns the number of banks M.
+	Banks() uint32
+	// BankWord returns the word index within Bank(a) at which addr is
+	// stored. Successive BankWord values of the same bank are contiguous
+	// in that bank's DRAM array.
+	BankWord(a Word) uint32
+}
+
+// Word0 describes word interleaving: consecutive words round-robin across
+// banks. This is the organization of the PVA prototype (Section 5.1).
+type Word0 struct {
+	M uint32 // number of banks; power of two
+	m uint   // log2(M)
+}
+
+// NewWordInterleave returns a word-interleaved mapping across m banks.
+func NewWordInterleave(banks uint32) (Word0, error) {
+	lg, err := log2(banks)
+	if err != nil {
+		return Word0{}, fmt.Errorf("word interleave: %w", err)
+	}
+	return Word0{M: banks, m: lg}, nil
+}
+
+// MustWordInterleave is NewWordInterleave for known-good constants.
+func MustWordInterleave(banks uint32) Word0 {
+	w, err := NewWordInterleave(banks)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Bank implements Interleave: bank = addr mod M, a pure bit-select.
+func (w Word0) Bank(a Word) uint32 { return a & (w.M - 1) }
+
+// Banks implements Interleave.
+func (w Word0) Banks() uint32 { return w.M }
+
+// BankWord implements Interleave.
+func (w Word0) BankWord(a Word) uint32 { return a >> w.m }
+
+// Log2Banks returns log2(M).
+func (w Word0) Log2Banks() uint { return w.m }
+
+// Line describes cache-line interleaving: each bank holds whole blocks of
+// N consecutive words. DecodeBank(addr) = (addr >> n) mod M as in
+// Section 4.1.1.
+type Line struct {
+	M uint32 // number of banks; power of two
+	N uint32 // words per block (cache line); power of two
+	m uint   // log2(M)
+	n uint   // log2(N)
+}
+
+// NewLineInterleave returns a cache-line-interleaved mapping with the
+// given bank count and block size in words.
+func NewLineInterleave(banks, lineWords uint32) (Line, error) {
+	m, err := log2(banks)
+	if err != nil {
+		return Line{}, fmt.Errorf("line interleave banks: %w", err)
+	}
+	n, err := log2(lineWords)
+	if err != nil {
+		return Line{}, fmt.Errorf("line interleave words: %w", err)
+	}
+	return Line{M: banks, N: lineWords, m: m, n: n}, nil
+}
+
+// MustLineInterleave is NewLineInterleave for known-good constants.
+func MustLineInterleave(banks, lineWords uint32) Line {
+	l, err := NewLineInterleave(banks, lineWords)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Bank implements Interleave.
+func (l Line) Bank(a Word) uint32 { return (a >> l.n) & (l.M - 1) }
+
+// Banks implements Interleave.
+func (l Line) Banks() uint32 { return l.M }
+
+// BankWord implements Interleave.
+func (l Line) BankWord(a Word) uint32 {
+	block := a >> (l.n + l.m) // block index within the bank
+	return block<<l.n | a&(l.N-1)
+}
+
+// Offset returns theta = addr mod N, the offset of addr within its block.
+func (l Line) Offset(a Word) uint32 { return a & (l.N - 1) }
+
+// Block describes block interleaving with W-word wide banks holding
+// N-word blocks: a generalization used by the logical-bank transform of
+// Section 4.1.3. A physical organization of M banks, each W words wide,
+// with blocks of W*N words, is indistinguishable (for bank-conflict
+// purposes) from W*N*M logical banks of one word each.
+type Block struct {
+	M uint32 // physical banks
+	W uint32 // words per memory word (bank width)
+	N uint32 // memory words per block
+}
+
+// LogicalBanks returns the number of logical single-word banks, W*N*M.
+func (b Block) LogicalBanks() uint32 { return b.W * b.N * b.M }
+
+// LogicalBank returns the logical bank L_i holding addr under the
+// transform of Section 4.1.3: consecutive words map to consecutive
+// logical banks, wrapping modulo W*N*M.
+func (b Block) LogicalBank(a Word) uint32 { return a % b.LogicalBanks() }
+
+// PhysicalBank returns the physical bank holding addr: each physical bank
+// owns W*N consecutive logical banks.
+func (b Block) PhysicalBank(a Word) uint32 { return b.LogicalBank(a) / (b.W * b.N) }
+
+// SDRAMGeom decomposes a per-bank word index into SDRAM coordinates.
+// The prototype drives one 32-bit-wide SDRAM per bank with four internal
+// banks and 512-word (2 KB) rows; internal banks are interleaved at row
+// granularity so that a long unit-stride sweep within one external bank
+// rotates across internal banks (allowing activate/precharge overlap).
+type SDRAMGeom struct {
+	InternalBanks uint32 // internal banks per device; power of two
+	RowWords      uint32 // words per row; power of two
+	Rows          uint32 // rows per internal bank
+	ibShift       uint
+	rowShift      uint
+}
+
+// NewSDRAMGeom validates and returns an SDRAM geometry.
+func NewSDRAMGeom(internalBanks, rowWords, rows uint32) (SDRAMGeom, error) {
+	ib, err := log2(internalBanks)
+	if err != nil {
+		return SDRAMGeom{}, fmt.Errorf("sdram internal banks: %w", err)
+	}
+	rw, err := log2(rowWords)
+	if err != nil {
+		return SDRAMGeom{}, fmt.Errorf("sdram row words: %w", err)
+	}
+	if rows == 0 {
+		return SDRAMGeom{}, fmt.Errorf("sdram rows: must be positive")
+	}
+	return SDRAMGeom{
+		InternalBanks: internalBanks,
+		RowWords:      rowWords,
+		Rows:          rows,
+		ibShift:       rw,
+		rowShift:      rw + ib,
+	}, nil
+}
+
+// MustSDRAMGeom is NewSDRAMGeom for known-good constants.
+func MustSDRAMGeom(internalBanks, rowWords, rows uint32) SDRAMGeom {
+	g, err := NewSDRAMGeom(internalBanks, rowWords, rows)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Coord is the location of a word within one SDRAM device.
+type Coord struct {
+	IBank uint32 // internal bank
+	Row   uint32 // row within the internal bank
+	Col   uint32 // column (word) within the row
+}
+
+// Decompose maps a per-bank word index to its SDRAM coordinates.
+func (g SDRAMGeom) Decompose(bankWord uint32) Coord {
+	return Coord{
+		Col:   bankWord & (g.RowWords - 1),
+		IBank: (bankWord >> g.ibShift) & (g.InternalBanks - 1),
+		Row:   (bankWord >> g.rowShift) % g.Rows,
+	}
+}
+
+// Compose is the inverse of Decompose.
+func (g SDRAMGeom) Compose(c Coord) uint32 {
+	return c.Row<<g.rowShift | c.IBank<<g.ibShift | c.Col
+}
+
+// CapacityWords returns the number of words one device stores.
+func (g SDRAMGeom) CapacityWords() uint64 {
+	return uint64(g.InternalBanks) * uint64(g.Rows) * uint64(g.RowWords)
+}
+
+// log2 returns log2(x) for a positive power of two, or an error.
+func log2(x uint32) (uint, error) {
+	if x == 0 || x&(x-1) != 0 {
+		return 0, fmt.Errorf("%d is not a positive power of two", x)
+	}
+	var lg uint
+	for x > 1 {
+		x >>= 1
+		lg++
+	}
+	return lg, nil
+}

@@ -1,0 +1,184 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWordInterleave(t *testing.T) {
+	w := MustWordInterleave(16)
+	if w.Banks() != 16 || w.Log2Banks() != 4 {
+		t.Fatalf("bad geometry: %+v", w)
+	}
+	for a := Word(0); a < 64; a++ {
+		if got := w.Bank(a); got != a%16 {
+			t.Errorf("Bank(%d) = %d, want %d", a, got, a%16)
+		}
+		if got := w.BankWord(a); got != a/16 {
+			t.Errorf("BankWord(%d) = %d, want %d", a, got, a/16)
+		}
+	}
+}
+
+func TestWordInterleaveValidation(t *testing.T) {
+	for _, bad := range []uint32{0, 3, 5, 12} {
+		if _, err := NewWordInterleave(bad); err == nil {
+			t.Errorf("NewWordInterleave(%d): expected error", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWordInterleave(3) did not panic")
+		}
+	}()
+	MustWordInterleave(3)
+}
+
+func TestLineInterleave(t *testing.T) {
+	l := MustLineInterleave(16, 32)
+	cases := []struct {
+		a    Word
+		bank uint32
+	}{
+		{0, 0}, {31, 0}, {32, 1}, {63, 1}, {32 * 15, 15}, {32 * 16, 0},
+	}
+	for _, c := range cases {
+		if got := l.Bank(c.a); got != c.bank {
+			t.Errorf("Bank(%d) = %d, want %d", c.a, got, c.bank)
+		}
+	}
+	// Offset within block.
+	if got := l.Offset(37); got != 5 {
+		t.Errorf("Offset(37) = %d, want 5", got)
+	}
+}
+
+func TestLineInterleaveBankWordRoundTrip(t *testing.T) {
+	l := MustLineInterleave(8, 4)
+	// Bank b stores its blocks contiguously; walking addresses of one
+	// bank in order must walk BankWord 0,1,2,...
+	for b := uint32(0); b < 8; b++ {
+		var next uint32
+		for a := Word(0); a < 4*8*4; a++ {
+			if l.Bank(a) != b {
+				continue
+			}
+			if got := l.BankWord(a); got != next {
+				t.Fatalf("bank %d addr %d: BankWord = %d, want %d", b, a, got, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestLineInterleaveValidation(t *testing.T) {
+	if _, err := NewLineInterleave(3, 4); err == nil {
+		t.Error("expected error for banks=3")
+	}
+	if _, err := NewLineInterleave(4, 3); err == nil {
+		t.Error("expected error for lineWords=3")
+	}
+}
+
+// TestLogicalBankTransform checks the Section 4.1.3 equivalence on the
+// paper's own example: N=2, W=4, M=2 maps to 16 logical banks L0..L15
+// assigned round-robin to consecutive words.
+func TestLogicalBankTransform(t *testing.T) {
+	b := Block{M: 2, W: 4, N: 2}
+	if got := b.LogicalBanks(); got != 16 {
+		t.Fatalf("LogicalBanks = %d, want 16", got)
+	}
+	for a := Word(0); a < 64; a++ {
+		if got := b.LogicalBank(a); got != a%16 {
+			t.Errorf("LogicalBank(%d) = %d, want %d", a, got, a%16)
+		}
+		wantPhys := (a % 16) / 8 // W*N = 8 words per physical bank
+		if got := b.PhysicalBank(a); got != wantPhys {
+			t.Errorf("PhysicalBank(%d) = %d, want %d", a, got, wantPhys)
+		}
+	}
+}
+
+func TestLogicalBankQuick(t *testing.T) {
+	b := Block{M: 4, W: 2, N: 8}
+	f := func(a Word) bool {
+		lb := b.LogicalBank(a)
+		return lb < b.LogicalBanks() && b.PhysicalBank(a) == lb/(b.W*b.N)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDRAMGeomDecompose(t *testing.T) {
+	g := MustSDRAMGeom(4, 512, 8192)
+	cases := []struct {
+		w uint32
+		c Coord
+	}{
+		{0, Coord{IBank: 0, Row: 0, Col: 0}},
+		{511, Coord{IBank: 0, Row: 0, Col: 511}},
+		{512, Coord{IBank: 1, Row: 0, Col: 0}},
+		{512 * 4, Coord{IBank: 0, Row: 1, Col: 0}},
+		{512*4*3 + 512*2 + 7, Coord{IBank: 2, Row: 3, Col: 7}},
+	}
+	for _, c := range cases {
+		if got := g.Decompose(c.w); got != c.c {
+			t.Errorf("Decompose(%d) = %+v, want %+v", c.w, got, c.c)
+		}
+		if back := g.Compose(c.c); back != c.w {
+			t.Errorf("Compose(%+v) = %d, want %d", c.c, back, c.w)
+		}
+	}
+}
+
+func TestSDRAMGeomRoundTripQuick(t *testing.T) {
+	g := MustSDRAMGeom(4, 512, 8192)
+	limit := uint32(g.CapacityWords())
+	f := func(w uint32) bool {
+		w %= limit
+		return g.Compose(g.Decompose(w)) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDRAMGeomCapacity(t *testing.T) {
+	g := MustSDRAMGeom(4, 512, 8192)
+	// 4 banks * 8192 rows * 512 words * 4 bytes = 64 MB = 512 Mbit... the
+	// modeled device pairs two 256 Mbit x16 parts into a 32-bit bank.
+	if got := g.CapacityWords(); got != 4*8192*512 {
+		t.Errorf("CapacityWords = %d", got)
+	}
+}
+
+func TestSDRAMGeomValidation(t *testing.T) {
+	if _, err := NewSDRAMGeom(3, 512, 8192); err == nil {
+		t.Error("expected error for internalBanks=3")
+	}
+	if _, err := NewSDRAMGeom(4, 500, 8192); err == nil {
+		t.Error("expected error for rowWords=500")
+	}
+	if _, err := NewSDRAMGeom(4, 512, 0); err == nil {
+		t.Error("expected error for rows=0")
+	}
+}
+
+// TestInterleaveRotatesInternalBanks documents why internal banks are
+// interleaved at row granularity: a unit-stride sweep through one
+// external bank's words crosses internal banks every RowWords words,
+// letting activates overlap accesses.
+func TestInterleaveRotatesInternalBanks(t *testing.T) {
+	g := MustSDRAMGeom(4, 512, 8192)
+	prev := g.Decompose(0)
+	for w := uint32(1); w < 512*8; w++ {
+		c := g.Decompose(w)
+		if c.Col == 0 {
+			if c.IBank == prev.IBank {
+				t.Fatalf("row crossing at word %d stayed in internal bank %d", w, c.IBank)
+			}
+		}
+		prev = c
+	}
+}

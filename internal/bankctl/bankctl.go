@@ -1,0 +1,328 @@
+// Package bankctl implements the Bank Controller (BC) of Section 5.2.2:
+// the per-bank engine that watches vector commands broadcast on the
+// vector bus, determines the subvector it owns using the FirstHit /
+// NextHit mathematics, schedules the SDRAM operations for that subvector
+// through a window of Vector Contexts, and stages data between the SDRAM
+// and the shared BC bus.
+//
+// The module structure mirrors the hardware blocks of Figure 6:
+//
+//   - FirstHit Predict (FHP): snoop logic evaluated in the broadcast
+//     cycle; decides hit/no-hit and, for power-of-two strides, the
+//     first-hit address (ObserveCommand).
+//   - Request FIFO (RQF) + Register File (RF): an eight-entry queue of
+//     pending vector requests (one per outstanding bus transaction).
+//   - FirstHit Calculate (FHC): the two-cycle multiply-add that resolves
+//     first-hit addresses for non-power-of-two strides (stepFHC).
+//   - Access Scheduler (SCHED) with four Vector Contexts (VCs) and their
+//     Scheduling Policy Units: daisy-chained, oldest-first arbitration
+//     for the single SDRAM command slot per cycle, row-open/precharge
+//     promotion, the bus polarity rule of Section 5.2.4, and the
+//     ManageRow auto-precharge heuristic (sched.go).
+//   - Staging Units (SUs): per-transaction read-gather and write-scatter
+//     line buffers wired to the transaction-complete lines (staging.go).
+//
+// Restimers — the small counters of Section 5.2.5 that gate operations on
+// SDRAM timing — are realized by consulting the device's BankReadyAt plus
+// the data-bus polarity timers kept here.
+package bankctl
+
+import (
+	"fmt"
+
+	"pva/internal/addr"
+	"pva/internal/bus"
+	"pva/internal/core"
+	"pva/internal/memsys"
+	"pva/internal/sdram"
+	"pva/internal/trace"
+)
+
+// Config fixes one bank controller's parameters.
+type Config struct {
+	Bank      uint32         // this controller's external bank number
+	Banks     uint32         // M, total external banks
+	Geom      core.Geometry  // word-interleave hit math for M banks
+	SGeom     addr.SDRAMGeom // device geometry
+	Timing    sdram.Timing   // device timing
+	Static    bool           // idealized SRAM device (PVA SRAM system)
+	VCWindow  int            // number of Vector Contexts (prototype: 4)
+	RFEntries int            // Register File entries (prototype: 8)
+	FHCDelay  int            // FirstHit-Calculate latency in cycles (prototype: 2)
+	Policy    Policy         // scheduling policy (nil: paper's SPU heuristic)
+	Observer  trace.Observer // optional event sink (nil: tracing off)
+}
+
+// PaperConfig returns the prototype parameters of Section 5.1 for the
+// given bank.
+func PaperConfig(bank uint32) Config {
+	return Config{
+		Bank:      bank,
+		Banks:     16,
+		Geom:      core.MustGeometry(16),
+		SGeom:     addr.MustSDRAMGeom(4, 512, 8192),
+		Timing:    sdram.PaperTiming(),
+		VCWindow:  4,
+		RFEntries: bus.MaxTransactions,
+		FHCDelay:  2,
+	}
+}
+
+// request is one Register File entry.
+type request struct {
+	op   memsys.Op
+	v    core.Vector
+	txn  int
+	hit  core.Hit // first index, delta, count for this bank
+	addr uint32   // global word address of the first owned element
+
+	acc        bool // "address calculation complete"
+	fhcCycles  int  // remaining FHC work when !acc
+	enqueuedAt uint64
+}
+
+// BC is one bank controller.
+type BC struct {
+	cfg   Config
+	dev   *sdram.Device
+	board *bus.Board
+	pla   *core.K1PLA
+
+	rqf []request // Register File managed as a queue (head = oldest)
+
+	sched *scheduler
+	su    *staging
+
+	cycle uint64
+	stats Stats
+}
+
+// Stats counts controller-level events (device-level counters live on
+// the sdram.Device).
+type Stats struct {
+	Requests        uint64 // vector commands with at least one hit here
+	NoHitCommands   uint64 // broadcasts that missed this bank entirely
+	FHPPow2         uint64 // first-hit addresses resolved in the broadcast cycle
+	FHCCalcs        uint64 // first-hit addresses resolved by the multiply-add
+	PolarityStalls  uint64 // cycles an access waited on data-bus turnaround
+	SchedIdleCycles uint64 // cycles with work pending but nothing issuable
+}
+
+// New returns a bank controller driving a fresh device over the store.
+func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
+	if cfg.VCWindow <= 0 || cfg.RFEntries <= 0 {
+		panic("bankctl: VCWindow and RFEntries must be positive")
+	}
+	var dev *sdram.Device
+	if cfg.Static {
+		dev = sdram.NewStatic(cfg.SGeom, store, cfg.Bank, cfg.Banks)
+	} else {
+		dev = sdram.New(cfg.SGeom, cfg.Timing, store, cfg.Bank, cfg.Banks)
+	}
+	bc := &BC{
+		cfg:   cfg,
+		dev:   dev,
+		board: board,
+		pla:   core.NewK1PLA(cfg.Geom),
+	}
+	bc.sched = newScheduler(bc)
+	bc.su = newStaging(cfg.Banks)
+	return bc
+}
+
+// Device exposes the SDRAM device (stats, inspection).
+func (bc *BC) Device() *sdram.Device { return bc.dev }
+
+// Stats returns a copy of the controller counters.
+func (bc *BC) Stats() Stats { return bc.stats }
+
+// Busy reports whether the controller still has queued or in-flight work.
+func (bc *BC) Busy() bool {
+	return len(bc.rqf) > 0 || bc.sched.busy()
+}
+
+// ObserveCommand is the FirstHit Predict block: called in the cycle a
+// VEC_READ or VEC_WRITE is broadcast. It decides whether this bank owns
+// any elements, resolves the first-hit address for power-of-two strides,
+// and queues the request. Banks owning nothing deassert the transaction
+// line immediately.
+func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
+	hit := bc.subVector(v)
+	if hit.Count == 0 {
+		bc.stats.NoHitCommands++
+		if op == memsys.Write {
+			bc.su.dropWrite(txn)
+		}
+		bc.board.Done(bc.cfg.Bank, txn)
+		return
+	}
+	bc.stats.Requests++
+	if len(bc.rqf) >= bc.cfg.RFEntries {
+		// The bus protocol caps outstanding transactions at the RF size,
+		// so this is a front-end protocol violation, not a backpressure
+		// condition.
+		panic(fmt.Sprintf("bankctl: bank %d register file overflow", bc.cfg.Bank))
+	}
+	r := request{op: op, v: v, txn: txn, hit: hit, enqueuedAt: bc.cycle}
+	if pow2(v.Stride) {
+		// FHP fast path: first-hit address is base + (first << log2(S)),
+		// a shift and add completed within the broadcast cycle.
+		r.addr = v.Base + v.Stride*hit.First
+		r.acc = true
+		bc.stats.FHPPow2++
+	} else {
+		r.fhcCycles = bc.cfg.FHCDelay
+	}
+	if op == memsys.Read {
+		bc.su.openRead(txn, hit.Count)
+	}
+	bc.rqf = append(bc.rqf, r)
+}
+
+// StageWriteData is the write Staging Unit's buffer fill: the front end
+// delivers the dense line for txn during STAGE_WRITE data cycles, before
+// the VEC_WRITE broadcast.
+func (bc *BC) StageWriteData(txn int, line []uint32) {
+	bc.su.putWrite(txn, line)
+}
+
+// CollectRead copies this bank's gathered words for txn into line (dense
+// element order), returning how many words it contributed. Called by the
+// front end during the STAGE_READ data burst.
+func (bc *BC) CollectRead(txn int, line []uint32) int {
+	return bc.su.collect(txn, line)
+}
+
+// Release frees all per-transaction staging state; the front end calls
+// it when the bus transaction retires.
+func (bc *BC) Release(txn int) { bc.su.release(txn) }
+
+// Tick advances the controller (and its device) one cycle:
+// FHC work, RQF-to-VC dispatch, scheduling, SDRAM command issue, and
+// read-data collection. The returned error reports a timing or protocol
+// violation — a simulator bug, not a runtime condition.
+func (bc *BC) Tick() error {
+	bc.stepFHC()
+	bc.dispatch()
+	handled, err := bc.stepRefresh()
+	if err != nil {
+		return err
+	}
+	if !handled {
+		if err := bc.sched.step(bc.cycle); err != nil {
+			return err
+		}
+	}
+	for _, rr := range bc.dev.Tick() {
+		txn := int(rr.Tag >> 32)
+		idx := uint32(rr.Tag)
+		if bc.su.putRead(txn, idx, rr.Data) {
+			bc.board.Done(bc.cfg.Bank, txn)
+		}
+	}
+	bc.cycle++
+	return nil
+}
+
+// stepRefresh services the device's refresh obligations (when the
+// configuration enables them): it closes any open rows, then issues the
+// AUTO REFRESH, taking the command slot for this cycle. The paper's
+// evaluation ignores refresh; this path exists for configurations that
+// model the 64 ms obligation.
+func (bc *BC) stepRefresh() (bool, error) {
+	if bc.cfg.Static || bc.cfg.Timing.RefreshInterval == 0 || !bc.dev.RefreshDue() {
+		return false, nil
+	}
+	allIdle := true
+	for ib := uint32(0); ib < bc.cfg.SGeom.InternalBanks; ib++ {
+		if _, open := bc.dev.OpenRow(ib); !open {
+			continue
+		}
+		allIdle = false
+		if bc.cycle >= bc.dev.BankReadyAt(ib) {
+			return true, bc.dev.Issue(sdram.Request{Cmd: sdram.Precharge, IBank: ib})
+		}
+	}
+	if !allIdle {
+		return true, nil // waiting on a row transition; hold the slot
+	}
+	for ib := uint32(0); ib < bc.cfg.SGeom.InternalBanks; ib++ {
+		if bc.cycle < bc.dev.BankReadyAt(ib) {
+			return true, nil // precharge still completing
+		}
+	}
+	return true, bc.dev.Issue(sdram.Request{Cmd: sdram.Refresh})
+}
+
+// stepFHC is the FirstHit Calculate block: it works on the oldest
+// register-file entry whose address calculation is incomplete, spending
+// FHCDelay cycles on the multiply-add, then writes the address back with
+// the ACC flag set (the bypass path to the VC window is modeled by
+// dispatch accepting entries the cycle ACC is set).
+func (bc *BC) stepFHC() {
+	for i := range bc.rqf {
+		r := &bc.rqf[i]
+		if r.acc {
+			continue
+		}
+		r.fhcCycles--
+		if r.fhcCycles <= 0 {
+			r.addr = r.v.Base + r.v.Stride*r.hit.First // the multiply-add
+			r.acc = true
+			bc.stats.FHCCalcs++
+		}
+		return // one FHC, one entry per cycle (workptr)
+	}
+}
+
+// dispatch moves the head of the Request FIFO into a free Vector Context
+// — at most one per cycle, and only entries whose address calculation is
+// complete and that were enqueued in an earlier cycle (the FHP itself
+// takes the broadcast cycle).
+func (bc *BC) dispatch() {
+	if len(bc.rqf) == 0 {
+		return
+	}
+	head := &bc.rqf[0]
+	if !head.acc || head.enqueuedAt >= bc.cycle {
+		return
+	}
+	if !bc.sched.accept(*head) {
+		return
+	}
+	bc.rqf = bc.rqf[1:]
+}
+
+// DebugString summarizes queue and scheduler state for deadlock
+// diagnostics.
+func (bc *BC) DebugString() string {
+	if !bc.Busy() {
+		return ""
+	}
+	s := fmt.Sprintf("bank %d: rqf=%d", bc.cfg.Bank, len(bc.rqf))
+	for _, r := range bc.rqf {
+		s += fmt.Sprintf(" [txn%d %v acc=%v first=%d n=%d]", r.txn, r.op, r.acc, r.hit.First, r.hit.Count)
+	}
+	for i, vc := range bc.sched.vcs {
+		s += fmt.Sprintf(" vc%d{txn%d %v rem=%d addr=%d}", i, vc.r.txn, vc.r.op, vc.remaining, vc.addr)
+	}
+	s += fmt.Sprintf(" pol=%v", bc.sched.polarity)
+	return s
+}
+
+// subVector evaluates the FirstHit predictor for this bank via the
+// stride PLA.
+func (bc *BC) subVector(v core.Vector) core.Hit {
+	first := bc.pla.FirstHit(v, bc.cfg.Bank)
+	if first == core.NoHit {
+		return core.Hit{First: core.NoHit, Delta: bc.pla.NextHit(v.Stride)}
+	}
+	delta := bc.pla.NextHit(v.Stride)
+	return core.Hit{
+		First: first,
+		Delta: delta,
+		Count: (v.Length - first + delta - 1) / delta,
+	}
+}
+
+func pow2(x uint32) bool { return x&(x-1) == 0 } // true for 0 and powers of two

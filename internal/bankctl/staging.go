@@ -1,0 +1,92 @@
+// Staging Units (Section 5.2.2): per-transaction buffers that assemble
+// gathered read words into cache-line order and hold scattered write
+// lines until the scheduler consumes them. One read and one write buffer
+// per outstanding transaction — the 2 KB of on-chip RAM in the
+// prototype's synthesis summary (Table 1).
+
+package bankctl
+
+import (
+	"fmt"
+
+	"pva/internal/bus"
+)
+
+type readStage struct {
+	open     bool
+	expected uint32
+	got      uint32
+	words    map[uint32]uint32 // element index -> data
+}
+
+type staging struct {
+	reads  [bus.MaxTransactions]readStage
+	writes [bus.MaxTransactions][]uint32
+}
+
+func newStaging(banks uint32) *staging { return &staging{} }
+
+// openRead arms the read staging buffer for txn, expecting count words.
+func (s *staging) openRead(txn int, count uint32) {
+	s.reads[txn] = readStage{open: true, expected: count, words: make(map[uint32]uint32, count)}
+}
+
+// putRead stores one returned word; reports true exactly once, when the
+// last expected word arrives (the staging unit then deasserts its
+// transaction-complete line).
+func (s *staging) putRead(txn int, idx, data uint32) bool {
+	r := &s.reads[txn]
+	if !r.open {
+		panic(fmt.Sprintf("bankctl: read data for closed txn %d", txn))
+	}
+	if _, dup := r.words[idx]; dup {
+		panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+	}
+	r.words[idx] = data
+	r.got++
+	return r.got == r.expected
+}
+
+// collect copies gathered words into the dense line; returns the count.
+func (s *staging) collect(txn int, line []uint32) int {
+	r := &s.reads[txn]
+	if !r.open {
+		return 0
+	}
+	if r.got != r.expected {
+		panic(fmt.Sprintf("bankctl: collecting txn %d before completion (%d/%d)", txn, r.got, r.expected))
+	}
+	for idx, w := range r.words {
+		if idx >= uint32(len(line)) {
+			panic(fmt.Sprintf("bankctl: txn %d element %d outside line of %d", txn, idx, len(line)))
+		}
+		line[idx] = w
+	}
+	return len(r.words)
+}
+
+// putWrite buffers the dense write line for txn (STAGE_WRITE data).
+func (s *staging) putWrite(txn int, line []uint32) {
+	cp := make([]uint32, len(line))
+	copy(cp, line)
+	s.writes[txn] = cp
+}
+
+// takeWrite returns the word for one element of a staged write.
+func (s *staging) takeWrite(txn int, elem uint32) (uint32, bool) {
+	w := s.writes[txn]
+	if w == nil || elem >= uint32(len(w)) {
+		return 0, false
+	}
+	return w[elem], true
+}
+
+// dropWrite discards a staged write line this bank turned out not to
+// need (no elements hit here).
+func (s *staging) dropWrite(txn int) { s.writes[txn] = nil }
+
+// release clears all staging state for a retired transaction.
+func (s *staging) release(txn int) {
+	s.reads[txn] = readStage{}
+	s.writes[txn] = nil
+}

@@ -1,0 +1,131 @@
+// Package baseline implements the comparison memory systems of Section
+// 6.1:
+//
+//   - CacheLineSerial: an idealized cache-line interleaved SDRAM system
+//     optimized for line fills. Every access becomes whole-line traffic;
+//     each fill costs a fixed 20 cycles (2 RAS + 2 CAS + 16-cycle burst
+//     over the 64-bit bus), precharge optimistically hidden, and no
+//     gathering happens — sparse vectors drag whole lines across the bus.
+//   - GatheringSerial: a word-interleaved, closed-page SDRAM system that
+//     gathers — it touches only the requested elements — but expands
+//     vector addresses serially, one element per cycle, paying precharge
+//     plus RAS/CAS once per vector command (RAS overlap assumed for all
+//     but the first element, and commands never cross DRAM pages).
+//
+// Both execute vector-command traces strictly serially in program order,
+// which trivially satisfies every dependency, and both move real data so
+// the shared correctness tests apply to them too.
+package baseline
+
+import (
+	"pva/internal/memsys"
+	"pva/internal/sdram"
+)
+
+// CacheLineSerial is the conventional line-fill memory system.
+type CacheLineSerial struct {
+	LineWords uint32 // words per cache line (32)
+	FillCost  uint64 // cycles per line access (20)
+	store     *memsys.Store
+	name      string
+}
+
+// NewCacheLineSerial returns the paper's configuration: 128-byte lines,
+// 20 cycles per fill.
+func NewCacheLineSerial() *CacheLineSerial {
+	return &CacheLineSerial{LineWords: 32, FillCost: 20, store: memsys.NewStore(), name: "cacheline-serial"}
+}
+
+// Name implements memsys.System.
+func (s *CacheLineSerial) Name() string { return s.name }
+
+// Peek implements memsys.System.
+func (s *CacheLineSerial) Peek(a uint32) uint32 { return s.store.Read(a) }
+
+// Run implements memsys.System: serial, 20 cycles per distinct line
+// touched, in reference order.
+func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
+	if err := t.Validate(); err != nil {
+		return memsys.Result{}, err
+	}
+	lines := make([][]uint32, len(t.Cmds))
+	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
+	for i, c := range t.Cmds {
+		res.Stats.LineFills += s.linesTouched(c)
+		res.Cycles += s.linesTouched(c) * s.FillCost
+		switch c.Op {
+		case memsys.Read:
+			lines[i] = s.store.Gather(c.V)
+			res.ReadData[i] = lines[i]
+		case memsys.Write:
+			data, err := memsys.WriteData(c, lines)
+			if err != nil {
+				return memsys.Result{}, err
+			}
+			lines[i] = data
+			s.store.Scatter(c.V, data)
+		}
+	}
+	res.Stats.BusBusyCycles = res.Cycles
+	return res, nil
+}
+
+// linesTouched counts the distinct cache lines a vector command covers.
+func (s *CacheLineSerial) linesTouched(c memsys.VectorCmd) uint64 {
+	seen := make(map[uint32]struct{}, c.V.Length)
+	for i := uint32(0); i < c.V.Length; i++ {
+		seen[c.V.Addr(i)/s.LineWords] = struct{}{}
+	}
+	return uint64(len(seen))
+}
+
+// GatheringSerial is the pipelined serial gathering system.
+type GatheringSerial struct {
+	Timing sdram.Timing // per-command startup latencies
+	store  *memsys.Store
+}
+
+// NewGatheringSerial returns the paper's configuration (2-cycle RAS,
+// CAS, precharge).
+func NewGatheringSerial() *GatheringSerial {
+	return &GatheringSerial{Timing: sdram.PaperTiming(), store: memsys.NewStore()}
+}
+
+// Name implements memsys.System.
+func (s *GatheringSerial) Name() string { return "gathering-serial" }
+
+// Peek implements memsys.System.
+func (s *GatheringSerial) Peek(a uint32) uint32 { return s.store.Read(a) }
+
+// Run implements memsys.System: per command, precharge + RAS + CAS once
+// (closed-page policy, page crossings optimistically ignored), then one
+// element per cycle.
+func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
+	if err := t.Validate(); err != nil {
+		return memsys.Result{}, err
+	}
+	startup := s.Timing.TRP + s.Timing.TRCD + s.Timing.CL
+	lines := make([][]uint32, len(t.Cmds))
+	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
+	for i, c := range t.Cmds {
+		res.Cycles += startup + uint64(c.V.Length)
+		res.Stats.Precharges++
+		res.Stats.Activates++
+		switch c.Op {
+		case memsys.Read:
+			lines[i] = s.store.Gather(c.V)
+			res.ReadData[i] = lines[i]
+			res.Stats.SDRAMReads += uint64(c.V.Length)
+		case memsys.Write:
+			data, err := memsys.WriteData(c, lines)
+			if err != nil {
+				return memsys.Result{}, err
+			}
+			lines[i] = data
+			s.store.Scatter(c.V, data)
+			res.Stats.SDRAMWrites += uint64(c.V.Length)
+		}
+	}
+	res.Stats.BusBusyCycles = res.Cycles
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package bus
+
+import "testing"
+
+func TestBusReserveSequential(t *testing.T) {
+	b := New()
+	if got := b.Free(0, Controller); got != 0 {
+		t.Fatalf("Free on idle bus = %d", got)
+	}
+	if err := b.Reserve(0, 1, Controller); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Free(0, Controller); got != 1 {
+		t.Fatalf("Free after 1-cycle tenure = %d", got)
+	}
+	if err := b.Reserve(1, 16, Controller); err != nil {
+		t.Fatal(err)
+	}
+	if b.BusyUntil() != 17 || b.BusyCycles() != 17 {
+		t.Fatalf("busyUntil=%d busyCycles=%d", b.BusyUntil(), b.BusyCycles())
+	}
+}
+
+func TestBusTurnaroundOnOwnershipChange(t *testing.T) {
+	b := New()
+	if err := b.Reserve(0, 1, Controller); err != nil {
+		t.Fatal(err)
+	}
+	// Banks now need a turnaround cycle: earliest start is 2, not 1.
+	if got := b.Free(0, Banks); got != 2 {
+		t.Fatalf("Free for Banks = %d, want 2", got)
+	}
+	if err := b.Reserve(1, 16, Banks); err == nil {
+		t.Fatal("reservation ignoring turnaround accepted")
+	}
+	if err := b.Reserve(2, 16, Banks); err != nil {
+		t.Fatal(err)
+	}
+	if b.TurnaroundCycles() != 1 {
+		t.Fatalf("turnarounds = %d, want 1", b.TurnaroundCycles())
+	}
+	// Same owner again: no turnaround.
+	if got := b.Free(0, Banks); got != 18 {
+		t.Fatalf("Free same owner = %d, want 18", got)
+	}
+}
+
+func TestBusOverlapRejected(t *testing.T) {
+	b := New()
+	if err := b.Reserve(0, 10, Controller); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(5, 1, Controller); err == nil {
+		t.Fatal("overlapping reservation accepted")
+	}
+	if err := b.Reserve(10, 0, Controller); err == nil {
+		t.Fatal("zero-length reservation accepted")
+	}
+}
+
+func TestBoardLifecycle(t *testing.T) {
+	bd := NewBoard(16)
+	txn, ok := bd.Alloc()
+	if !ok {
+		t.Fatal("alloc failed on empty board")
+	}
+	bd.Open(txn)
+	if bd.AllDone(txn) {
+		t.Fatal("AllDone immediately after Open")
+	}
+	for bank := uint32(0); bank < 16; bank++ {
+		bd.Done(bank, txn)
+	}
+	if !bd.AllDone(txn) {
+		t.Fatal("not AllDone after all banks reported")
+	}
+	bd.Release(txn)
+	if got, ok := bd.Alloc(); !ok || got != txn {
+		t.Fatalf("released txn not reusable: got %d ok=%v", got, ok)
+	}
+}
+
+func TestBoardDoneIdempotent(t *testing.T) {
+	bd := NewBoard(4)
+	txn, _ := bd.Alloc()
+	bd.Open(txn)
+	bd.Done(2, txn)
+	bd.Done(2, txn) // wired-OR: driving low twice is fine
+	bd.Done(0, txn)
+	bd.Done(1, txn)
+	if bd.AllDone(txn) {
+		t.Fatal("AllDone with bank 3 still pending")
+	}
+	bd.Done(3, txn)
+	if !bd.AllDone(txn) {
+		t.Fatal("AllDone expected")
+	}
+}
+
+func TestBoardExhaustion(t *testing.T) {
+	bd := NewBoard(16)
+	for i := 0; i < MaxTransactions; i++ {
+		if _, ok := bd.Alloc(); !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+	}
+	if _, ok := bd.Alloc(); ok {
+		t.Fatal("ninth transaction allocated")
+	}
+}
+
+func TestBoardReleasePendingPanics(t *testing.T) {
+	bd := NewBoard(8)
+	txn, _ := bd.Alloc()
+	bd.Open(txn)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release with pending banks did not panic")
+		}
+	}()
+	bd.Release(txn)
+}
+
+func TestBoardUnallocatedPanics(t *testing.T) {
+	bd := NewBoard(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllDone on unallocated txn did not panic")
+		}
+	}()
+	bd.AllDone(3)
+}
+
+func TestCommandStrings(t *testing.T) {
+	for c, want := range map[Command]string{
+		VecRead: "VEC_READ", VecWrite: "VEC_WRITE",
+		StageRead: "STAGE_READ", StageWrite: "STAGE_WRITE",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package complexity accounts for the hardware cost of a bank
+// controller, standing in for the paper's Table 1 synthesis summary.
+//
+// We cannot re-run the IKOS/Xilinx toolchain, and absolute cell counts
+// are toolchain artifacts anyway; what Section 4.3.1 actually reasons
+// about is *structure* — which resources exist and how they scale with
+// the bank count M, the interleave factor, the transaction window and
+// the VC window. This package computes those structural quantities from
+// the same design parameters the simulator uses, reports them next to
+// the paper's published counts, and exposes the scaling laws (K1 PLA
+// linear in M, full-K_i PLA quadratic in M) that drive the paper's
+// recommendation of the K1 organization beyond ~16 banks.
+package complexity
+
+import "fmt"
+
+// PLAKind selects the FirstHit hardware organization of Section 4.2.
+type PLAKind int
+
+const (
+	// K1PLA stores K_1 per stride residue and multiplies at access time
+	// (linear in M; recommended for large systems).
+	K1PLA PLAKind = iota
+	// FullPLA stores K_i for every (stride residue, distance) pair
+	// (quadratic in M; viable to about 16 banks).
+	FullPLA
+)
+
+// String implements fmt.Stringer.
+func (k PLAKind) String() string {
+	if k == K1PLA {
+		return "k1-pla"
+	}
+	return "full-pla"
+}
+
+// Params are the design parameters of one bank controller.
+type Params struct {
+	Banks     uint32 // M
+	LineWords uint32 // cache line length in words (32)
+	Txns      uint32 // outstanding transactions / RF entries (8)
+	VCs       uint32 // vector contexts (4)
+	IBanks    uint32 // internal banks per device (4)
+	PLA       PLAKind
+}
+
+// PaperParams is the prototype configuration of Section 5.1.
+func PaperParams() Params {
+	return Params{Banks: 16, LineWords: 32, Txns: 8, VCs: 4, IBanks: 4, PLA: FullPLA}
+}
+
+// Estimate is the structural account of one bank controller.
+type Estimate struct {
+	// StagingRAMBytes is the read+write staging storage: Txns line
+	// buffers in each direction (the prototype's "On-chip RAM 2K bytes").
+	StagingRAMBytes int
+	// RegisterFileBits is the RF storage: per entry a 32-bit base, a
+	// 32-bit stride, the transaction ID, the first-hit index/address and
+	// control flags.
+	RegisterFileBits int
+	// VCBits is the vector context storage: current address, element
+	// index, remaining count, step and control per context.
+	VCBits int
+	// PLAEntries is the FirstHit table size in entries.
+	PLAEntries int
+	// RestimerBits is the timing scoreboard: small counters per internal
+	// bank plus the data-bus polarity timers.
+	RestimerBits int
+	// WiredORLines is the per-internal-bank predictor lines
+	// (hit/morehit/close/actv) plus the per-transaction completion lines.
+	WiredORLines int
+}
+
+// Totals are rough aggregates for comparison with Table 1.
+type Totals struct {
+	FlipFlops int // register bits (RF + VC + restimers + predictors)
+	RAMBytes  int // staging RAM
+}
+
+// rfEntryBits is the width of one register-file entry: base(32) +
+// stride(32) + length(6) + txn(3) + first-hit index(5) + first-hit
+// address(32) + ACC/valid flags(2).
+const rfEntryBits = 32 + 32 + 6 + 3 + 5 + 32 + 2
+
+// vcEntryBits is one vector context: address(32) + element index(5) +
+// remaining(6) + step(32) + txn(3) + op/valid/first-op flags(3).
+const vcEntryBits = 32 + 5 + 6 + 32 + 3 + 3
+
+// New computes the structural estimate.
+func New(p Params) (Estimate, error) {
+	if p.Banks == 0 || p.LineWords == 0 || p.Txns == 0 || p.VCs == 0 || p.IBanks == 0 {
+		return Estimate{}, fmt.Errorf("complexity: all parameters must be positive")
+	}
+	e := Estimate{
+		StagingRAMBytes:  int(p.Txns) * int(p.LineWords) * 4 * 2,
+		RegisterFileBits: int(p.Txns) * rfEntryBits,
+		VCBits:           int(p.VCs) * vcEntryBits,
+		RestimerBits:     int(p.IBanks)*2*4 + 2*8, // per-bank tRCD/tRP counters + polarity timers
+		WiredORLines:     int(p.IBanks)*4 + int(p.Txns),
+	}
+	switch p.PLA {
+	case K1PLA:
+		e.PLAEntries = int(p.Banks)
+	case FullPLA:
+		e.PLAEntries = int(p.Banks) * int(p.Banks)
+	default:
+		return Estimate{}, fmt.Errorf("complexity: unknown PLA kind %d", int(p.PLA))
+	}
+	return e, nil
+}
+
+// Totals aggregates the estimate.
+func (e Estimate) Totals() Totals {
+	return Totals{
+		FlipFlops: e.RegisterFileBits + e.VCBits + e.RestimerBits,
+		RAMBytes:  e.StagingRAMBytes,
+	}
+}
+
+// PaperTable1 is the synthesis summary the paper reports for the
+// unoptimized FPGA prototype (per bank controller), reproduced for
+// side-by-side reporting.
+var PaperTable1 = []struct {
+	Type  string
+	Count int
+}{
+	{"AND2", 1193},
+	{"D Flip-flop", 1039},
+	{"D Latch", 32},
+	{"INV", 1627},
+	{"MUX2", 183},
+	{"NAND2", 5488},
+	{"NOR2", 843},
+	{"OR2", 194},
+	{"XOR2", 500},
+	{"PULLDOWN", 13},
+	{"TRISTATE BUFFER", 1849},
+	{"On-chip RAM (bytes)", 2048},
+}
+
+// PLAScaling returns the PLA entry counts for a range of bank counts,
+// exposing the linear-vs-quadratic growth of Section 4.3.1.
+func PLAScaling(kind PLAKind, banks []uint32) []int {
+	out := make([]int, len(banks))
+	for i, m := range banks {
+		if kind == K1PLA {
+			out[i] = int(m)
+		} else {
+			out[i] = int(m) * int(m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package complexity
+
+import "testing"
+
+func TestPaperStagingRAMMatchesTable1(t *testing.T) {
+	e, err := New(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 transactions x 128-byte lines x (read + write staging) = 2 KB,
+	// exactly the "On-chip RAM 2K bytes" row of Table 1.
+	if e.StagingRAMBytes != 2048 {
+		t.Errorf("staging RAM = %d bytes, want 2048", e.StagingRAMBytes)
+	}
+}
+
+func TestPLAScalingLaws(t *testing.T) {
+	banks := []uint32{4, 8, 16, 32, 64}
+	lin := PLAScaling(K1PLA, banks)
+	quad := PLAScaling(FullPLA, banks)
+	for i := 1; i < len(banks); i++ {
+		if lin[i] != lin[i-1]*2 {
+			t.Errorf("K1 PLA not linear: %v", lin)
+		}
+		if quad[i] != quad[i-1]*4 {
+			t.Errorf("full PLA not quadratic: %v", quad)
+		}
+	}
+}
+
+func TestEstimateKinds(t *testing.T) {
+	p := PaperParams()
+	p.PLA = K1PLA
+	e1, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PLA = FullPLA
+	e2, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.PLAEntries != 16 || e2.PLAEntries != 256 {
+		t.Errorf("PLA entries: k1=%d full=%d", e1.PLAEntries, e2.PLAEntries)
+	}
+	// Everything except the PLA is identical.
+	e1.PLAEntries, e2.PLAEntries = 0, 0
+	if e1 != e2 {
+		t.Errorf("non-PLA structure differs: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	e, _ := New(PaperParams())
+	tot := e.Totals()
+	if tot.RAMBytes != e.StagingRAMBytes {
+		t.Error("totals RAM mismatch")
+	}
+	if tot.FlipFlops <= 0 {
+		t.Error("no flip-flops counted")
+	}
+	// The modeled register count should be the same order of magnitude
+	// as the prototype's 1039 flip-flops (it excludes datapath
+	// pipeline registers, so somewhat above or below is expected).
+	if tot.FlipFlops < 300 || tot.FlipFlops > 5000 {
+		t.Errorf("flip-flop estimate %d implausible vs Table 1's 1039", tot.FlipFlops)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := PaperParams()
+	p.Banks = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero banks accepted")
+	}
+	p = PaperParams()
+	p.PLA = PLAKind(9)
+	if _, err := New(p); err == nil {
+		t.Error("bad PLA kind accepted")
+	}
+}
+
+func TestPaperTable1Reference(t *testing.T) {
+	var ram int
+	for _, row := range PaperTable1 {
+		if row.Type == "On-chip RAM (bytes)" {
+			ram = row.Count
+		}
+	}
+	if ram != 2048 {
+		t.Error("paper table reference lost its RAM row")
+	}
+}
+
+func TestPLAKindString(t *testing.T) {
+	if K1PLA.String() != "k1-pla" || FullPLA.String() != "full-pla" {
+		t.Error("bad kind strings")
+	}
+}

@@ -1,0 +1,198 @@
+// The general FirstHit/NextHit problem for cache-line interleaved memory
+// (Section 4.1.2 of the paper).
+//
+// With M banks interleaved at N-word blocks, the bank of word address a
+// is (a / N) mod M, which depends only on a mod N*M. Element V[i] of a
+// vector <B, S, L> lands in bank b exactly when
+//
+//	(gamma + i*S0) mod NM < N
+//
+// where S0 = S mod NM, theta = B mod N, d = (b - DecodeBank(B)) mod M and
+// gamma = (theta - d*N) mod NM. FirstHit is the least such i, and NextHit
+// is the least positive delta with (theta + delta*S0) mod NM < N.
+//
+// The paper derives a recursive algorithm over successive remainders
+// S_i = S_(i-1) mod S_(i-2) — essentially the Euclidean structure below —
+// and rejects it for hardware because of its data-dependent divisions.
+// We implement it in full here both because the simulator's cache-line
+// interleaved configurations need it and because it is the baseline
+// against which the word-interleave transformation of Section 4.1.3 is
+// justified.
+
+package core
+
+import "fmt"
+
+// LineGeometry is an M = 2^m bank, N = 2^n words-per-block cache-line
+// interleaved memory system (Section 4.1.1: DecodeBank(a) = (a>>n) mod M).
+type LineGeometry struct {
+	M uint32 // banks
+	N uint32 // words per block
+}
+
+// NewLineGeometry validates and returns a cache-line interleaved
+// geometry. Both parameters must be powers of two.
+func NewLineGeometry(banks, lineWords uint32) (LineGeometry, error) {
+	if banks == 0 || banks&(banks-1) != 0 {
+		return LineGeometry{}, fmt.Errorf("core: banks %d not a power of two", banks)
+	}
+	if lineWords == 0 || lineWords&(lineWords-1) != 0 {
+		return LineGeometry{}, fmt.Errorf("core: line words %d not a power of two", lineWords)
+	}
+	return LineGeometry{M: banks, N: lineWords}, nil
+}
+
+// MustLineGeometry is NewLineGeometry for known-good constants.
+func MustLineGeometry(banks, lineWords uint32) LineGeometry {
+	g, err := NewLineGeometry(banks, lineWords)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DecodeBank returns the bank of word address a.
+func (g LineGeometry) DecodeBank(a uint32) uint32 {
+	return uint32((uint64(a) / uint64(g.N)) % uint64(g.M))
+}
+
+// nm returns N*M as a uint64 to keep all internal arithmetic overflow-free.
+func (g LineGeometry) nm() uint64 { return uint64(g.N) * uint64(g.M) }
+
+// FirstHit returns the least index i < v.Length with element v[i] in bank
+// b, or NoHit. This is the analytically derived algorithm of Section
+// 4.1.2 (data-dependent divisions and all).
+func (g LineGeometry) FirstHit(v Vector, b uint32) uint32 {
+	if v.Length == 0 {
+		return NoHit
+	}
+	nm := g.nm()
+	s0 := uint64(v.Stride) % nm
+	theta := uint64(v.Base) % uint64(g.N)
+	b0 := g.DecodeBank(v.Base)
+	d := uint64((b-b0)&(g.M-1)) % uint64(g.M)
+	gamma := (theta + nm - d*uint64(g.N)) % nm
+	// Element i hits iff (gamma + i*s0) mod nm < N, i.e. iff
+	// (i*s0) mod nm falls in the cyclic window of width N starting at
+	// (nm - gamma) mod nm.
+	lo := (nm - gamma) % nm
+	hi := (lo + uint64(g.N) - 1) % nm
+	p, ok := leastMultipleInWindow(s0, nm, lo, hi)
+	if !ok || p >= uint64(v.Length) {
+		return NoHit
+	}
+	return uint32(p)
+}
+
+// NextHit returns the least positive delta such that an element at block
+// offset theta is followed, delta indices later, by another element in
+// the same bank: least delta >= 1 with (theta + delta*S0) mod NM < N.
+// ok is false when no element ever returns to the bank (impossible for
+// S0 != 0 only in degenerate windows; S0 == 0 always returns 1).
+func (g LineGeometry) NextHit(theta, stride uint32) (uint32, bool) {
+	nm := g.nm()
+	s0 := uint64(stride) % nm
+	th := uint64(theta) % uint64(g.N)
+	lo := (nm - th) % nm
+	hi := (lo + uint64(g.N) - 1) % nm
+	p, ok := leastPositiveMultipleInWindow(s0, nm, lo, hi)
+	if !ok {
+		return 0, false
+	}
+	return uint32(p), true
+}
+
+// leastMultipleInWindow returns the least p >= 0 such that (p*b) mod m
+// lies in the inclusive cyclic window [lo, hi] (lo > hi denotes a window
+// wrapping through zero), and whether such p exists. It is the discrete
+// "impulse train" problem the paper visualizes in its footnote, solved by
+// a Euclidean recursion in O(log m) steps.
+func leastMultipleInWindow(b, m, lo, hi uint64) (uint64, bool) {
+	if m == 0 {
+		panic("core: zero modulus")
+	}
+	if lo >= m || hi >= m {
+		panic("core: window bounds out of range")
+	}
+	if lo > hi || lo == 0 {
+		return 0, true // the window contains zero, and 0*b mod m == 0
+	}
+	b %= m
+	if b == 0 {
+		return 0, false // only ever produces 0, which is outside [lo, hi]
+	}
+	if b > m-b {
+		// Mirror: (p*b) mod m is in [lo, hi] (never 0 there) exactly when
+		// (p*(m-b)) mod m is in [m-hi, m-lo]. The mirrored multiplier is
+		// at most m/2, so the division step below makes progress.
+		return leastMultipleInWindow(m-b, m, m-hi, m-lo)
+	}
+	// Direct hit without wrap-around: the smallest multiple of b at or
+	// above lo. Since b <= m/2 and hi < m, p*b < m when it lands in the
+	// window, so the modulo is vacuous.
+	if p := (lo + b - 1) / b; p*b <= hi {
+		return p, true
+	}
+	// Wrap-around needed: p*b = q*m + r with q >= 1 and r in [lo, hi].
+	// Because no multiple of b lies in [lo, hi], the window is shorter
+	// than b and r is determined by its residue mod b, which must equal
+	// (-q*m) mod b = (q * ((-m) mod b)) mod b. Recurse for the least such
+	// q; the sub-window cannot contain zero (that would put a multiple of
+	// b inside [lo, hi]), so the recursion returns q >= 1.
+	bp := (b - m%b) % b // (-m) mod b
+	q, ok := leastMultipleInWindow(bp, b, lo%b, hi%b)
+	if !ok {
+		return 0, false
+	}
+	t := q * bp % b
+	r := lo + (t+b-lo%b)%b
+	return (q*m + r) / b, true
+}
+
+// leastPositiveMultipleInWindow is leastMultipleInWindow restricted to
+// p >= 1, as NextHit requires (the window by construction contains the
+// current element at p = 0).
+func leastPositiveMultipleInWindow(b, m, lo, hi uint64) (uint64, bool) {
+	if m == 0 {
+		panic("core: zero modulus")
+	}
+	b %= m
+	zeroInWindow := lo > hi || lo == 0
+	if b == 0 {
+		if zeroInWindow {
+			return 1, true
+		}
+		return 0, false
+	}
+	if !zeroInWindow {
+		// leastMultipleInWindow can only return 0 when the window holds
+		// zero, so its answer is already positive.
+		return leastMultipleInWindow(b, m, lo, hi)
+	}
+	// Candidates: the least p >= 1 with p*b ≡ 0 (mod m), which is
+	// m / gcd(b, m), and the least p hitting the window with a nonzero
+	// residue, found by splitting the window around zero.
+	best := m / gcd(b, m)
+	if lo > hi {
+		if p, ok := leastMultipleInWindow(b, m, lo, m-1); ok && p < best {
+			best = p
+		}
+		if hi >= 1 {
+			if p, ok := leastMultipleInWindow(b, m, 1, hi); ok && p < best {
+				best = p
+			}
+		}
+	} else if hi >= 1 { // lo == 0
+		if p, ok := leastMultipleInWindow(b, m, 1, hi); ok && p < best {
+			best = p
+		}
+	}
+	return best, true
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastMultipleInWindowSmall(t *testing.T) {
+	// Exhaustive check against linear search for all small parameters.
+	for m := uint64(1); m <= 24; m++ {
+		for b := uint64(0); b <= 2*m; b++ {
+			for lo := uint64(0); lo < m; lo++ {
+				for hi := uint64(0); hi < m; hi++ {
+					want, wantOK := linearLeastMultiple(b, m, lo, hi)
+					got, ok := leastMultipleInWindow(b, m, lo, hi)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("leastMultipleInWindow(%d,%d,%d,%d) = (%d,%v), want (%d,%v)",
+							b, m, lo, hi, got, ok, want, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLeastPositiveMultipleInWindowSmall(t *testing.T) {
+	for m := uint64(1); m <= 20; m++ {
+		for b := uint64(0); b <= m; b++ {
+			for lo := uint64(0); lo < m; lo++ {
+				for hi := uint64(0); hi < m; hi++ {
+					want, wantOK := linearLeastPositiveMultiple(b, m, lo, hi)
+					got, ok := leastPositiveMultipleInWindow(b, m, lo, hi)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("leastPositiveMultipleInWindow(%d,%d,%d,%d) = (%d,%v), want (%d,%v)",
+							b, m, lo, hi, got, ok, want, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// linearLeastMultiple is the O(m) reference for the Euclidean solver.
+func linearLeastMultiple(b, m, lo, hi uint64) (uint64, bool) {
+	for p := uint64(0); p <= m; p++ { // residues repeat within m steps
+		if inCyclicWindow(p*b%m, lo, hi) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func linearLeastPositiveMultiple(b, m, lo, hi uint64) (uint64, bool) {
+	for p := uint64(1); p <= 2*m; p++ {
+		if inCyclicWindow(p*b%m, lo, hi) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func inCyclicWindow(v, lo, hi uint64) bool {
+	if lo <= hi {
+		return lo <= v && v <= hi
+	}
+	return v >= lo || v <= hi
+}
+
+func TestLeastMultipleInWindowLargeQuick(t *testing.T) {
+	f := func(b, m uint64, loRaw, width uint16) bool {
+		m = m%(1<<20) + 2
+		b %= 4 * m
+		lo := uint64(loRaw) % m
+		hi := (lo + uint64(width)%m) % m
+		got, ok := leastMultipleInWindow(b, m, lo, hi)
+		if !ok {
+			// verify by scanning one period
+			g := gcd(b%m|m, m)
+			if b%m != 0 {
+				g = gcd(b%m, m)
+			}
+			for p := uint64(0); p <= m/g; p++ {
+				if inCyclicWindow(p*b%m, lo, hi) {
+					return false
+				}
+			}
+			return true
+		}
+		if !inCyclicWindow(got*b%m, lo, hi) {
+			return false
+		}
+		// minimality: probe a handful of smaller p
+		for p := uint64(0); p < got && p < 2000; p++ {
+			if inCyclicWindow(p*b%m, lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericFirstHitAgainstBruteExhaustive(t *testing.T) {
+	for _, geom := range []LineGeometry{
+		MustLineGeometry(1, 1),
+		MustLineGeometry(4, 1),
+		MustLineGeometry(2, 4),
+		MustLineGeometry(8, 4),
+		MustLineGeometry(4, 8),
+	} {
+		nm := uint32(geom.nm())
+		for stride := uint32(0); stride <= 2*nm+3; stride++ {
+			for base := uint32(0); base < nm; base += 3 {
+				v := Vector{Base: base, Stride: stride, Length: 4 * nm}
+				for b := uint32(0); b < geom.M; b++ {
+					want := BruteFirstHitLine(geom, v, b)
+					if got := geom.FirstHit(v, b); got != want {
+						t.Fatalf("geom %dx%d FirstHit(%+v, %d) = %d, want %d",
+							geom.M, geom.N, v, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenericFirstHitLengthCutoff(t *testing.T) {
+	g := MustLineGeometry(8, 4)
+	// stride 9 from base 0: paper example says banks 0,2,4,6,1,3,5,7,2,4.
+	long := Vector{Base: 0, Stride: 9, Length: 10}
+	if got := g.FirstHit(long, 1); got != 4 {
+		t.Fatalf("FirstHit stride 9 bank 1 = %d, want 4", got)
+	}
+	short := Vector{Base: 0, Stride: 9, Length: 4}
+	if got := g.FirstHit(short, 1); got != NoHit {
+		t.Fatalf("FirstHit with short length = %d, want NoHit", got)
+	}
+}
+
+// TestPaperSection412Examples reproduces the four worked examples in
+// Section 4.1.2 (M = 8 banks, N = 4 words per block).
+func TestPaperSection412Examples(t *testing.T) {
+	g := MustLineGeometry(8, 4)
+	cases := []struct {
+		v     Vector
+		banks []uint32
+	}{
+		{Vector{Base: 0, Stride: 8, Length: 16}, []uint32{0, 2, 4, 6, 0, 2, 4, 6, 0, 2, 4, 6, 0, 2, 4, 6}},
+		{Vector{Base: 5, Stride: 8, Length: 16}, []uint32{1, 3, 5, 7, 1, 3, 5, 7, 1, 3, 5, 7, 1, 3, 5, 7}},
+		{Vector{Base: 0, Stride: 9, Length: 4}, []uint32{0, 2, 4, 6}},
+		{Vector{Base: 0, Stride: 9, Length: 10}, []uint32{0, 2, 4, 6, 1, 3, 5, 7, 2, 4}},
+	}
+	for _, c := range cases {
+		for i, want := range c.banks {
+			if got := g.DecodeBank(c.v.Addr(uint32(i))); got != want {
+				t.Errorf("vector %+v element %d: bank %d, want %d", c.v, i, got, want)
+			}
+		}
+		// FirstHit must match serial expansion for every bank.
+		for b := uint32(0); b < g.M; b++ {
+			want := BruteFirstHitLine(g, c.v, b)
+			if got := g.FirstHit(c.v, b); got != want {
+				t.Errorf("vector %+v FirstHit(bank %d) = %d, want %d", c.v, b, got, want)
+			}
+		}
+	}
+}
+
+func TestGenericNextHitAgainstBrute(t *testing.T) {
+	for _, geom := range []LineGeometry{
+		MustLineGeometry(2, 2),
+		MustLineGeometry(8, 4),
+		MustLineGeometry(16, 8),
+	} {
+		nm := uint32(geom.nm())
+		for stride := uint32(0); stride <= 2*nm+1; stride++ {
+			for theta := uint32(0); theta < geom.N; theta++ {
+				want, wantOK := BruteNextHitLine(geom, theta, stride)
+				got, ok := geom.NextHit(theta, stride)
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("geom %dx%d NextHit(theta=%d, stride=%d) = (%d,%v), want (%d,%v)",
+						geom.M, geom.N, theta, stride, got, ok, want, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestWordInterleaveEquivalence validates the Section 4.1.3 reduction:
+// a cache-line interleaved system behaves, for hit purposes, like a
+// word-interleaved system with N*M logical banks, and on that logical
+// system the simple word-interleave FirstHit agrees with the generic
+// algorithm.
+func TestWordInterleaveEquivalence(t *testing.T) {
+	lg := MustLineGeometry(8, 4) // physical: M=8, N=4
+	wg := MustGeometry(32)       // logical: NM = 32 single-word banks
+	for stride := uint32(0); stride <= 70; stride++ {
+		for base := uint32(0); base < 32; base += 5 {
+			v := Vector{Base: base, Stride: stride, Length: 128}
+			for la := uint32(0); la < 32; la++ {
+				// Logical bank la corresponds to physical bank la/N; an
+				// element hits la iff its address mod NM == la.
+				gotWord := wg.FirstHit(v, la)
+				want := NoHit
+				for i := uint32(0); i < v.Length; i++ {
+					if v.Addr(i)&31 == la {
+						want = i
+						break
+					}
+				}
+				if gotWord != want {
+					t.Fatalf("logical bank %d stride %d base %d: word FirstHit %d, want %d",
+						la, stride, base, gotWord, want)
+				}
+				// And the physical bank of any hit agrees with the line geometry.
+				if gotWord != NoHit {
+					phys := la / lg.N
+					if pb := lg.DecodeBank(v.Addr(gotWord)); pb != phys {
+						t.Fatalf("logical bank %d maps to physical %d but element lands in %d", la, phys, pb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLineGeometryValidation(t *testing.T) {
+	if _, err := NewLineGeometry(3, 4); err == nil {
+		t.Error("NewLineGeometry(3,4): expected error")
+	}
+	if _, err := NewLineGeometry(4, 5); err == nil {
+		t.Error("NewLineGeometry(4,5): expected error")
+	}
+	if _, err := NewLineGeometry(16, 32); err != nil {
+		t.Errorf("NewLineGeometry(16,32): %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+// A faithful port of the NextHit() C listing printed in Section 4.1.2 of
+// the paper. The listing comes from a draft ("Draft. Do not distribute",
+// UUCS-99-006) and is kept here verbatim — including any behaviour that
+// disagrees with the mathematical specification — so that the test suite
+// can characterize exactly where the draft deviates from the oracle.
+// Production code uses LineGeometry.NextHit (generic.go) instead.
+
+package core
+
+// PaperNextHit ports the paper's recursive NextHit(theta, stride, NM)
+// listing. The C code reads the block size N from a global; here it is
+// the lineWords parameter. All arithmetic is unsigned, as in the C.
+//
+// Specification (what the listing is *meant* to compute): the least
+// delta >= 1 such that (theta + delta*stride) mod NM < N — i.e. the index
+// increment after which a bank holding an element at block offset theta
+// holds another element.
+func PaperNextHit(theta, stride, nm, lineWords uint32) uint32 {
+	n := lineWords
+	if stride < n {
+		if theta+stride < n {
+			return 1
+		}
+		p3Plus1 := (nm - theta) / stride
+		if p3Plus1 != 0 && (theta+p3Plus1*stride)%nm < n {
+			return p3Plus1
+		}
+		return p3Plus1 + 1
+	}
+	s1 := nm % stride
+	if s1 <= theta {
+		return nm / stride
+	}
+	var p2 uint32
+	if s1 < n {
+		p2 = (stride-n+theta)/s1 + 1
+	} else {
+		s2 := stride % s1
+		p3Plus1 := PaperNextHit(theta, s2, s1, lineWords)
+		p2 = (p3Plus1*stride + theta) / s1
+	}
+	carry := uint32(1)
+	if (p2*nm)%stride <= stride-n+theta {
+		carry = 0
+	}
+	p1Minus1 := (p2 * nm) / stride
+	return p1Minus1 + carry
+}

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// TestPaperNextHitCharacterization measures where the paper's draft C
+// listing agrees with the brute-force oracle. The listing is from a
+// draft technical report and is not fully correct; this test pins down
+// its behaviour so regressions in the port are caught, and documents the
+// agreement rate. Our own NextHit (generic.go) is held to exact
+// correctness in TestGenericNextHitAgainstBrute.
+func TestPaperNextHitCharacterization(t *testing.T) {
+	type space struct {
+		m, n uint32
+	}
+	for _, sp := range []space{{4, 2}, {8, 4}, {4, 8}} {
+		g := MustLineGeometry(sp.m, sp.n)
+		nm := uint32(g.nm())
+		var total, agree int
+		for stride := uint32(1); stride < nm; stride++ {
+			for theta := uint32(0); theta < sp.n; theta++ {
+				want, ok := BruteNextHitLine(g, theta, stride)
+				if !ok {
+					continue
+				}
+				total++
+				if PaperNextHit(theta, stride, nm, sp.n) == want {
+					agree++
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("M=%d N=%d: no oracle cases", sp.m, sp.n)
+		}
+		rate := float64(agree) / float64(total)
+		t.Logf("M=%d N=%d: paper listing agrees with oracle on %d/%d cases (%.1f%%)",
+			sp.m, sp.n, agree, total, 100*rate)
+		// The listing must at least handle the common fast paths the text
+		// highlights; require a majority agreement so a botched port is
+		// detected while tolerating the draft's own defects.
+		if rate < 0.5 {
+			t.Errorf("M=%d N=%d: agreement %.1f%% too low — port is likely wrong", sp.m, sp.n, 100*rate)
+		}
+	}
+}
+
+// TestPaperNextHitFastPath checks the one branch of the listing that is
+// unambiguous: stride < N and theta+stride < N means the very next
+// element is still in the same block, so delta = 1.
+func TestPaperNextHitFastPath(t *testing.T) {
+	const m, n = 8, 4
+	nm := uint32(m * n)
+	for stride := uint32(1); stride < n; stride++ {
+		for theta := uint32(0); theta+stride < n; theta++ {
+			if got := PaperNextHit(theta, stride, nm, n); got != 1 {
+				t.Errorf("PaperNextHit(%d, %d) = %d, want 1", theta, stride, got)
+			}
+		}
+	}
+}
+
+// TestPaperNextHitTermination ensures the recursive port terminates on
+// the full small parameter space (the draft recursion bottoms out when
+// the running remainder drops below N).
+func TestPaperNextHitTermination(t *testing.T) {
+	const m, n = 16, 8
+	nm := uint32(m * n)
+	for stride := uint32(1); stride < nm; stride++ {
+		for theta := uint32(0); theta < n; theta++ {
+			_ = PaperNextHit(theta, stride, nm, n) // must not hang or panic
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package harness runs the paper's evaluation (Section 6): every kernel
+// at strides {1, 2, 4, 8, 16, 19} and five relative vector alignments on
+// the four memory systems, then renders the rows behind Figures 7–11 and
+// the headline speedup ratios.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"pva/internal/baseline"
+	"pva/internal/kernels"
+	"pva/internal/memsys"
+	"pva/internal/pvaunit"
+)
+
+// SystemKind enumerates the memory systems of Section 6.1.
+type SystemKind int
+
+const (
+	// PVASDRAM is the Parallel Vector Access prototype.
+	PVASDRAM SystemKind = iota
+	// CacheLineSerial is the conventional line-fill system.
+	CacheLineSerial
+	// GatheringSerial is the pipelined serial gathering system.
+	GatheringSerial
+	// PVASRAM is the idealized single-cycle-memory PVA.
+	PVASRAM
+	numSystems
+)
+
+// AllSystems lists every system kind in report order.
+func AllSystems() []SystemKind {
+	return []SystemKind{PVASDRAM, CacheLineSerial, GatheringSerial, PVASRAM}
+}
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case PVASDRAM:
+		return "pva-sdram"
+	case CacheLineSerial:
+		return "cacheline-serial"
+	case GatheringSerial:
+		return "gathering-serial"
+	case PVASRAM:
+		return "pva-sram"
+	default:
+		return fmt.Sprintf("system(%d)", int(k))
+	}
+}
+
+// NewSystem constructs a fresh instance of a memory system.
+func NewSystem(k SystemKind) (memsys.System, error) {
+	switch k {
+	case PVASDRAM:
+		return pvaunit.New(pvaunit.PaperConfig())
+	case CacheLineSerial:
+		return baseline.NewCacheLineSerial(), nil
+	case GatheringSerial:
+		return baseline.NewGatheringSerial(), nil
+	case PVASRAM:
+		return pvaunit.New(pvaunit.SRAMConfig())
+	default:
+		return nil, fmt.Errorf("harness: unknown system %d", int(k))
+	}
+}
+
+// PaperStrides are the six strides of Figures 7–10.
+func PaperStrides() []uint32 { return []uint32{1, 2, 4, 8, 16, 19} }
+
+// Point is one measured experimental point.
+type Point struct {
+	Kernel    string
+	Stride    uint32
+	Alignment int
+	System    SystemKind
+	Cycles    uint64
+	Stats     memsys.Stats
+}
+
+// Runner configures a sweep.
+type Runner struct {
+	// Elements per application vector; 0 means the paper's 1024.
+	Elements uint32
+	// Verify runs the functional reference beside every point and fails
+	// on any data divergence (used by the integration tests; the
+	// cycle-level models are self-checking either way).
+	Verify bool
+}
+
+func (r Runner) params(stride uint32, alignment int) kernels.Params {
+	p := kernels.PaperParams(stride, alignment)
+	if r.Elements != 0 {
+		p.Elements = r.Elements
+	}
+	return p
+}
+
+// RunPoint measures one (kernel, stride, alignment, system) cell.
+func (r Runner) RunPoint(kernel kernels.Kernel, stride uint32, alignment int, kind SystemKind) (Point, error) {
+	trace := kernel.Build(r.params(stride, alignment))
+	sys, err := NewSystem(kind)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := sys.Run(trace)
+	if err != nil {
+		return Point{}, fmt.Errorf("harness: %s stride %d align %d on %s: %w",
+			kernel.Name, stride, alignment, kind, err)
+	}
+	if r.Verify {
+		if err := verify(sys, trace, res); err != nil {
+			return Point{}, fmt.Errorf("harness: %s stride %d align %d on %s: %w",
+				kernel.Name, stride, alignment, kind, err)
+		}
+	}
+	return Point{
+		Kernel:    kernel.Name,
+		Stride:    stride,
+		Alignment: alignment,
+		System:    kind,
+		Cycles:    res.Cycles,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// verify replays the trace on the functional reference and compares all
+// gathered lines and the final memory image.
+func verify(sys memsys.System, trace memsys.Trace, res memsys.Result) error {
+	ref := memsys.NewReference()
+	want, err := ref.Run(trace)
+	if err != nil {
+		return err
+	}
+	for i, c := range trace.Cmds {
+		if c.Op != memsys.Read {
+			continue
+		}
+		for j := range want.ReadData[i] {
+			if res.ReadData[i][j] != want.ReadData[i][j] {
+				return fmt.Errorf("cmd %d word %d: got %#x, want %#x",
+					i, j, res.ReadData[i][j], want.ReadData[i][j])
+			}
+		}
+	}
+	for _, c := range trace.Cmds {
+		for i := uint32(0); i < c.V.Length; i++ {
+			a := c.V.Addr(i)
+			if g, w := sys.Peek(a), ref.Peek(a); g != w {
+				return fmt.Errorf("final image at %d: got %#x, want %#x", a, g, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Sweep measures the full cross product. kernelNames nil means all
+// kernels; strides nil means the paper's; systems nil means all four;
+// alignments is always the full 0..4 range.
+func (r Runner) Sweep(kernelNames []string, strides []uint32, systems []SystemKind) ([]Point, error) {
+	ks := kernels.All()
+	if kernelNames != nil {
+		ks = ks[:0:0]
+		for _, n := range kernelNames {
+			k, err := kernels.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			ks = append(ks, k)
+		}
+	}
+	if strides == nil {
+		strides = PaperStrides()
+	}
+	if systems == nil {
+		systems = AllSystems()
+	}
+	var points []Point
+	for _, k := range ks {
+		for _, s := range strides {
+			for a := 0; a < kernels.Alignments; a++ {
+				for _, sys := range systems {
+					p, err := r.RunPoint(k, s, a, sys)
+					if err != nil {
+						return nil, err
+					}
+					points = append(points, p)
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// Range is the min/max execution time of a cell across alignments.
+type Range struct {
+	Min, Max uint64
+}
+
+// Collate reduces points to per-(kernel, stride, system) ranges over the
+// alignment sweep.
+func Collate(points []Point) map[Key]Range {
+	out := make(map[Key]Range)
+	for _, p := range points {
+		k := Key{Kernel: p.Kernel, Stride: p.Stride, System: p.System}
+		r, ok := out[k]
+		if !ok {
+			r = Range{Min: p.Cycles, Max: p.Cycles}
+		} else {
+			if p.Cycles < r.Min {
+				r.Min = p.Cycles
+			}
+			if p.Cycles > r.Max {
+				r.Max = p.Cycles
+			}
+		}
+		out[k] = r
+	}
+	return out
+}
+
+// Key identifies a collated cell.
+type Key struct {
+	Kernel string
+	Stride uint32
+	System SystemKind
+}
+
+// Headline summarizes the abstract's claims over a collated sweep:
+// the best-case speedup of the PVA over the conventional line-fill
+// system, over the serial gathering system, and the worst unit-stride
+// ratio (how close the line-fill system comes at stride 1).
+type Headline struct {
+	MaxVsCacheLine   float64 // paper: up to 32.8x
+	MaxVsCacheLineAt Key
+	MaxVsGathering   float64 // paper: up to 3.3x
+	MaxVsGatheringAt Key
+	// UnitStrideWorst is the largest cacheline/PVA time ratio at stride
+	// 1 (paper: the line-fill system runs at 100–109% of the PVA there).
+	UnitStrideWorst float64
+}
+
+// Headlines computes the summary ratios. Comparisons use each system's
+// minimum-over-alignments time against the PVA's minimum, matching the
+// paper's normalization to "the minimum PVA SDRAM cycle time for each
+// access pattern".
+func Headlines(coll map[Key]Range) Headline {
+	var h Headline
+	for k, r := range coll {
+		if k.System != PVASDRAM {
+			continue
+		}
+		pva := r.Min
+		if cl, ok := coll[Key{k.Kernel, k.Stride, CacheLineSerial}]; ok {
+			ratio := float64(cl.Min) / float64(pva)
+			if ratio > h.MaxVsCacheLine {
+				h.MaxVsCacheLine = ratio
+				h.MaxVsCacheLineAt = Key{k.Kernel, k.Stride, CacheLineSerial}
+			}
+			if k.Stride == 1 && ratio > h.UnitStrideWorst {
+				h.UnitStrideWorst = ratio
+			}
+		}
+		if gs, ok := coll[Key{k.Kernel, k.Stride, GatheringSerial}]; ok {
+			ratio := float64(gs.Min) / float64(pva)
+			if ratio > h.MaxVsGathering {
+				h.MaxVsGathering = ratio
+				h.MaxVsGatheringAt = Key{k.Kernel, k.Stride, GatheringSerial}
+			}
+		}
+	}
+	return h
+}
+
+// KernelsIn returns the kernel names present in a point set, in stable
+// report order.
+func KernelsIn(points []Point) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, p := range points {
+		if !seen[p.Kernel] {
+			seen[p.Kernel] = true
+			names = append(names, p.Kernel)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pva/internal/kernels"
+)
+
+// quick is a fast sweep configuration: short vectors, verification on.
+var quick = Runner{Elements: 128, Verify: true}
+
+func TestRunPointAllSystems(t *testing.T) {
+	k, _ := kernels.ByName("copy")
+	for _, sys := range AllSystems() {
+		p, err := quick.RunPoint(k, 19, 0, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if p.Cycles == 0 && sys != PVASRAM {
+			t.Errorf("%s: zero cycles", sys)
+		}
+		t.Logf("%s: %d cycles", sys, p.Cycles)
+	}
+}
+
+func TestSweepSmallVerified(t *testing.T) {
+	points, err := quick.Sweep([]string{"copy", "scale"}, []uint32{1, 8, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * kernels.Alignments * len(AllSystems())
+	if len(points) != want {
+		t.Fatalf("sweep produced %d points, want %d", len(points), want)
+	}
+}
+
+func TestCollateRanges(t *testing.T) {
+	points := []Point{
+		{Kernel: "k", Stride: 1, Alignment: 0, System: PVASDRAM, Cycles: 10},
+		{Kernel: "k", Stride: 1, Alignment: 1, System: PVASDRAM, Cycles: 30},
+		{Kernel: "k", Stride: 1, Alignment: 2, System: PVASDRAM, Cycles: 20},
+	}
+	coll := Collate(points)
+	r := coll[Key{"k", 1, PVASDRAM}]
+	if r.Min != 10 || r.Max != 30 {
+		t.Fatalf("range = %+v", r)
+	}
+}
+
+// TestPaperTrends checks the qualitative shapes of Figures 7-10 on a
+// reduced sweep: the relationships that must hold for the reproduction
+// to be faithful.
+func TestPaperTrends(t *testing.T) {
+	r := Runner{Elements: 256}
+	points, err := r.Sweep([]string{"copy", "scale"}, []uint32{1, 4, 16, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := Collate(points)
+	for _, kernel := range []string{"copy", "scale"} {
+		// (1) Unit stride: cache-line serial is close to the PVA
+		// (paper: 100-109% of PVA time).
+		pva1 := coll[Key{kernel, 1, PVASDRAM}].Min
+		cl1 := coll[Key{kernel, 1, CacheLineSerial}].Min
+		if ratio := float64(cl1) / float64(pva1); ratio < 0.8 || ratio > 1.6 {
+			t.Errorf("%s stride 1: cacheline/pva = %.2f, expected near parity", kernel, ratio)
+		}
+		// (2) The cache-line system degrades sharply with stride.
+		cl16 := coll[Key{kernel, 16, CacheLineSerial}].Min
+		pva16 := coll[Key{kernel, 16, PVASDRAM}].Min
+		if float64(cl16)/float64(pva16) < 3 {
+			t.Errorf("%s stride 16: cacheline only %.1fx PVA, expected >3x",
+				kernel, float64(cl16)/float64(pva16))
+		}
+		// (3) Prime stride 19 restores full parallelism: PVA near its
+		// unit-stride time, cache-line system at its worst.
+		pva19 := coll[Key{kernel, 19, PVASDRAM}].Min
+		if float64(pva19) > 1.4*float64(pva1) {
+			t.Errorf("%s: stride-19 PVA %d much slower than unit stride %d", kernel, pva19, pva1)
+		}
+		cl19 := coll[Key{kernel, 19, CacheLineSerial}].Min
+		if float64(cl19)/float64(pva19) < 10 {
+			t.Errorf("%s stride 19: cacheline only %.1fx PVA, expected >10x",
+				kernel, float64(cl19)/float64(pva19))
+		}
+		// (4) PVA stride 16 (single bank) is its worst stride.
+		for _, s := range []uint32{1, 4, 19} {
+			if coll[Key{kernel, s, PVASDRAM}].Min > pva16 {
+				t.Errorf("%s: stride %d slower than stride 16 on PVA", kernel, s)
+			}
+		}
+		// (5) Gathering serial is stride-invariant and slower than PVA
+		// at full parallelism.
+		g1 := coll[Key{kernel, 1, GatheringSerial}].Min
+		g19 := coll[Key{kernel, 19, GatheringSerial}].Min
+		if g1 != g19 {
+			t.Errorf("%s: gathering serial varies with stride (%d vs %d)", kernel, g1, g19)
+		}
+		if float64(g19)/float64(pva19) < 1.2 {
+			t.Errorf("%s stride 19: gathering/pva = %.2f, expected PVA clearly faster",
+				kernel, float64(g19)/float64(pva19))
+		}
+	}
+}
+
+// TestSDRAMTracksSRAM checks the Figure 11 claim on a reduced vaxpy
+// sweep: PVA SDRAM stays within a modest factor of idealized SRAM.
+func TestSDRAMTracksSRAM(t *testing.T) {
+	r := Runner{Elements: 256}
+	points, err := r.Sweep([]string{"vaxpy"}, []uint32{1, 4, 16, 19}, []SystemKind{PVASDRAM, PVASRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := SDRAMvsSRAMWorst(points)
+	if worst > 1.5 {
+		t.Errorf("SDRAM/SRAM worst ratio %.2f, paper claims <= ~1.15", worst)
+	}
+	t.Logf("worst PVA-SDRAM/PVA-SRAM ratio: %.3f", worst)
+}
+
+func TestRenderers(t *testing.T) {
+	r := Runner{Elements: 128}
+	points, err := r.Sweep([]string{"copy"}, []uint32{1, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := Collate(points)
+	var buf bytes.Buffer
+	RenderStrideChart(&buf, coll, "copy", []uint32{1, 19})
+	if !strings.Contains(buf.String(), "copy") || !strings.Contains(buf.String(), "pva-sdram") {
+		t.Error("stride chart missing expected content")
+	}
+	buf.Reset()
+	RenderKernelChart(&buf, coll, 19, []string{"copy"})
+	if !strings.Contains(buf.String(), "stride 19") {
+		t.Error("kernel chart missing header")
+	}
+	buf.Reset()
+	RenderAlignmentDetail(&buf, points, "copy", []uint32{1, 19})
+	if !strings.Contains(buf.String(), "aligned") {
+		t.Error("alignment detail missing alignment names")
+	}
+	buf.Reset()
+	RenderHeadlines(&buf, Headlines(coll))
+	if !strings.Contains(buf.String(), "32.8x") {
+		t.Error("headline rendering missing paper reference")
+	}
+}
+
+func TestHeadlines(t *testing.T) {
+	r := Runner{Elements: 256}
+	points, err := r.Sweep([]string{"copy"}, []uint32{1, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Headlines(Collate(points))
+	if h.MaxVsCacheLine < 5 {
+		t.Errorf("MaxVsCacheLine = %.1f, expected large speedup at stride 19", h.MaxVsCacheLine)
+	}
+	if h.MaxVsCacheLineAt.Stride != 19 {
+		t.Errorf("best case at stride %d, want 19", h.MaxVsCacheLineAt.Stride)
+	}
+	if h.UnitStrideWorst <= 0 {
+		t.Error("unit stride ratio not computed")
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	for _, k := range AllSystems() {
+		sys, err := NewSystem(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Name() != k.String() {
+			t.Errorf("system name %q != kind name %q", sys.Name(), k.String())
+		}
+	}
+	if _, err := NewSystem(SystemKind(99)); err == nil {
+		t.Error("unknown system kind accepted")
+	}
+}
+
+func TestKernelsIn(t *testing.T) {
+	points := []Point{{Kernel: "b"}, {Kernel: "a"}, {Kernel: "b"}}
+	got := KernelsIn(points)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("KernelsIn = %v", got)
+	}
+}

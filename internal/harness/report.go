@@ -1,0 +1,188 @@
+// Text renderers for the evaluation figures. Each function reproduces
+// the rows/series behind one figure of the paper as an aligned text
+// table; normalized annotations follow the paper's convention of
+// percentages of the minimum PVA SDRAM time for the same access pattern
+// and stride.
+
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pva/internal/kernels"
+)
+
+// Figure7Kernels and Figure8Kernels split the kernels as the paper's
+// figures do.
+func Figure7Kernels() []string { return []string{"copy", "saxpy", "scale"} }
+
+// Figure8Kernels returns the remaining access patterns.
+func Figure8Kernels() []string { return []string{"swap", "tridiag", "vaxpy", "copy2", "scale2"} }
+
+// Figure9Strides and Figure10Strides split the fixed-stride charts.
+func Figure9Strides() []uint32 { return []uint32{1, 4} }
+
+// Figure10Strides returns the larger fixed strides.
+func Figure10Strides() []uint32 { return []uint32{8, 16, 19} }
+
+// RenderStrideChart writes one Figure 7/8-style panel: execution cycles
+// versus stride for one kernel on all four systems (PVA SRAM shown as
+// min and max over alignments, like the paper's two SRAM bars).
+func RenderStrideChart(w io.Writer, coll map[Key]Range, kernel string, strides []uint32) {
+	fmt.Fprintf(w, "%s — execution cycles by stride (min..max over %d alignments)\n",
+		kernel, kernels.Alignments)
+	fmt.Fprintf(w, "%8s %20s %20s %20s %20s\n", "stride",
+		PVASDRAM.String(), CacheLineSerial.String(), GatheringSerial.String(), PVASRAM.String())
+	for _, s := range strides {
+		pva := coll[Key{kernel, s, PVASDRAM}]
+		fmt.Fprintf(w, "%8d", s)
+		for _, sys := range AllSystems() {
+			r := coll[Key{kernel, s, sys}]
+			fmt.Fprintf(w, " %9d..%-9d", r.Min, r.Max)
+			_ = pva
+		}
+		fmt.Fprintln(w)
+	}
+	// Normalized annotations (percent of PVA-SDRAM min), paper style.
+	fmt.Fprintf(w, "%8s", "norm%")
+	for range AllSystems() {
+		fmt.Fprintf(w, " %20s", "")
+	}
+	fmt.Fprintln(w)
+	for _, s := range strides {
+		pvaMin := coll[Key{kernel, s, PVASDRAM}].Min
+		fmt.Fprintf(w, "%8d", s)
+		for _, sys := range AllSystems() {
+			r := coll[Key{kernel, s, sys}]
+			fmt.Fprintf(w, " %8.0f%%..%-8.0f%%", pct(r.Min, pvaMin), pct(r.Max, pvaMin))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderKernelChart writes one Figure 9/10-style panel: normalized
+// execution time for every kernel at one fixed stride.
+func RenderKernelChart(w io.Writer, coll map[Key]Range, stride uint32, kernelNames []string) {
+	fmt.Fprintf(w, "stride %d — normalized execution time (%% of PVA-SDRAM min per kernel)\n", stride)
+	fmt.Fprintf(w, "%10s %18s %18s %18s %18s\n", "kernel",
+		PVASDRAM.String(), CacheLineSerial.String(), GatheringSerial.String(), PVASRAM.String())
+	for _, k := range kernelNames {
+		pvaMin := coll[Key{k, stride, PVASDRAM}].Min
+		fmt.Fprintf(w, "%10s", k)
+		for _, sys := range AllSystems() {
+			r := coll[Key{k, stride, sys}]
+			fmt.Fprintf(w, " %7.0f%%..%-7.0f%%", pct(r.Min, pvaMin), pct(r.Max, pvaMin))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAlignmentDetail writes the Figure 11-style panel: the vaxpy (or
+// any) kernel's execution time for each stride and relative alignment on
+// the PVA SDRAM and PVA SRAM systems, with the SDRAM/SRAM ratio the
+// paper uses to show how well SDRAM overheads are hidden.
+func RenderAlignmentDetail(w io.Writer, points []Point, kernel string, strides []uint32) {
+	type cell struct{ sdram, sram uint64 }
+	cells := make(map[[2]uint32]*cell) // [stride, alignment]
+	for _, p := range points {
+		if p.Kernel != kernel {
+			continue
+		}
+		key := [2]uint32{p.Stride, uint32(p.Alignment)}
+		c, ok := cells[key]
+		if !ok {
+			c = &cell{}
+			cells[key] = c
+		}
+		switch p.System {
+		case PVASDRAM:
+			c.sdram = p.Cycles
+		case PVASRAM:
+			c.sram = p.Cycles
+		}
+	}
+	fmt.Fprintf(w, "%s — PVA SDRAM vs PVA SRAM by stride and alignment\n", kernel)
+	fmt.Fprintf(w, "%8s %14s %12s %12s %10s\n", "stride", "alignment", "pva-sdram", "pva-sram", "sdram/sram")
+	for _, s := range strides {
+		for a := 0; a < kernels.Alignments; a++ {
+			c, ok := cells[[2]uint32{s, uint32(a)}]
+			if !ok || c.sram == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%8d %14s %12d %12d %9.2fx\n",
+				s, kernels.AlignmentName(a), c.sdram, c.sram,
+				float64(c.sdram)/float64(c.sram))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderHeadlines writes the abstract's summary ratios.
+func RenderHeadlines(w io.Writer, h Headline) {
+	fmt.Fprintf(w, "headline ratios (best case over kernels, strides, alignments)\n")
+	fmt.Fprintf(w, "  PVA vs cache-line serial: %.1fx faster (at %s stride %d; paper: up to 32.8x)\n",
+		h.MaxVsCacheLine, h.MaxVsCacheLineAt.Kernel, h.MaxVsCacheLineAt.Stride)
+	fmt.Fprintf(w, "  PVA vs gathering serial:  %.1fx faster (at %s stride %d; paper: up to 3.3x)\n",
+		h.MaxVsGathering, h.MaxVsGatheringAt.Kernel, h.MaxVsGatheringAt.Stride)
+	fmt.Fprintf(w, "  unit-stride: cache-line serial at %.0f%% of PVA (paper: 100-109%%)\n",
+		100*h.UnitStrideWorst)
+}
+
+// SDRAMvsSRAMWorst returns the largest PVA-SDRAM / PVA-SRAM time ratio
+// in a point set (paper: at most ~1.15, Figure 11 discussion).
+func SDRAMvsSRAMWorst(points []Point) float64 {
+	sram := make(map[[3]uint64]uint64)
+	for _, p := range points {
+		if p.System == PVASRAM {
+			sram[[3]uint64{hash(p.Kernel), uint64(p.Stride), uint64(p.Alignment)}] = p.Cycles
+		}
+	}
+	worst := 0.0
+	for _, p := range points {
+		if p.System != PVASDRAM {
+			continue
+		}
+		if s, ok := sram[[3]uint64{hash(p.Kernel), uint64(p.Stride), uint64(p.Alignment)}]; ok && s > 0 {
+			if r := float64(p.Cycles) / float64(s); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func pct(x, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(x) / float64(base)
+}
+
+// SortPoints orders points for stable output.
+func SortPoints(points []Point) {
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Stride != b.Stride {
+			return a.Stride < b.Stride
+		}
+		if a.Alignment != b.Alignment {
+			return a.Alignment < b.Alignment
+		}
+		return a.System < b.System
+	})
+}

@@ -1,0 +1,94 @@
+// Package hotrow implements the Alpha 21174 memory controller's
+// adaptive hot-row predictor (Sections 2.4.1 and 3.1): a four-bit
+// history of row hits and misses per DRAM resource, indexing a 16-bit
+// software-set precharge policy register whose bit says whether to
+// leave the row open (predict hit) or precharge it (predict miss).
+//
+// The paper cites this scheme as the state of the practice the PVA's
+// vector-aware row management competes with; here it doubles as an
+// ablation row policy for the bank controller.
+package hotrow
+
+import "pva/internal/bankctl"
+
+// Predictor is one 4-bit-history hot-row predictor.
+type Predictor struct {
+	history uint8  // last four outcomes, bit0 = most recent (1 = hit)
+	policy  uint16 // bit[history] = 1: leave row open; 0: precharge
+}
+
+// MajorityPolicy leaves the row open when at least two of the last four
+// accesses hit — a reasonable software setting for streamed workloads.
+func MajorityPolicy() uint16 {
+	var p uint16
+	for h := 0; h < 16; h++ {
+		ones := 0
+		for b := 0; b < 4; b++ {
+			if h>>b&1 == 1 {
+				ones++
+			}
+		}
+		if ones >= 2 {
+			p |= 1 << h
+		}
+	}
+	return p
+}
+
+// AlwaysOpen and AlwaysClosed are the degenerate policy settings.
+const (
+	AlwaysOpen   uint16 = 0xffff
+	AlwaysClosed uint16 = 0x0000
+)
+
+// New returns a predictor with the given policy register.
+func New(policy uint16) *Predictor { return &Predictor{policy: policy} }
+
+// Predict reports whether the row should be left open after the current
+// access (true) or precharged (false).
+func (p *Predictor) Predict() bool {
+	return p.policy>>(p.history&0xf)&1 == 1
+}
+
+// Record shifts the outcome of an access (hit = the access found its
+// row open) into the history.
+func (p *Predictor) Record(hit bool) {
+	p.history <<= 1
+	if hit {
+		p.history |= 1
+	}
+	p.history &= 0xf
+}
+
+// History exposes the current 4-bit history (tests, reports).
+func (p *Predictor) History() uint8 { return p.history & 0xf }
+
+// RowPolicy adapts the predictor bank to the bank controller's row
+// management interface: one predictor per internal bank, trained on
+// whether the access pattern keeps hitting the open row. Hits are
+// approximated by the scheduler's own lookahead (the next access to the
+// internal bank hitting the same row), which is the information the
+// 21174's history would accumulate one access later.
+type RowPolicy struct {
+	preds []*Predictor
+}
+
+// NewRowPolicy returns the adapter with one predictor per internal bank.
+func NewRowPolicy(internalBanks uint32, policy uint16) *RowPolicy {
+	rp := &RowPolicy{preds: make([]*Predictor, internalBanks)}
+	for i := range rp.preds {
+		rp.preds[i] = New(policy)
+	}
+	return rp
+}
+
+// Name implements bankctl.RowPolicy.
+func (rp *RowPolicy) Name() string { return "hotrow-21174" }
+
+// AutoPrecharge implements bankctl.RowPolicy.
+func (rp *RowPolicy) AutoPrecharge(d bankctl.RowDecision) bool {
+	p := rp.preds[int(d.IBank)%len(rp.preds)]
+	hit := d.NextSelfSameRow || d.MoreHitPredict
+	p.Record(hit)
+	return !p.Predict()
+}

@@ -1,0 +1,237 @@
+// Package indirect implements the vector-indirect scatter/gather
+// extension the paper sketches in its conclusion (Section 7):
+//
+//	"the PVA unit described here can be extended to handle vector
+//	indirect scatter-gather operations by performing the operation in
+//	two phases: (i) loading the indirection vector into the appropriate
+//	bank controllers and then (ii) loading the appropriate vector
+//	elements. ... its contents can be broadcast across the vector bus.
+//	Each bank controller can easily determine which elements of the
+//	vector reside in its SDRAM by snooping this broadcast and performing
+//	a simple bit-mask operation on each address broadcast (two per
+//	cycle). Then, each bank controller can perform its part of the
+//	vector indirect gather operation in parallel."
+//
+// The Engine models exactly that: phase one gathers the indirection
+// vector (a base-stride read), phase two broadcasts the resolved
+// addresses at two per cycle while every bank claims its own by bit
+// mask and services them through a real sdram.Device with a greedy
+// open-row schedule; the line stages back over the shared bus like any
+// other PVA read.
+package indirect
+
+import (
+	"fmt"
+
+	"pva/internal/addr"
+	"pva/internal/core"
+	"pva/internal/memsys"
+	"pva/internal/sdram"
+)
+
+// Config mirrors the PVA prototype parameters.
+type Config struct {
+	Banks  uint32
+	SGeom  addr.SDRAMGeom
+	Timing sdram.Timing
+}
+
+// PaperConfig is the 16-bank prototype.
+func PaperConfig() Config {
+	return Config{Banks: 16, SGeom: addr.MustSDRAMGeom(4, 512, 8192), Timing: sdram.PaperTiming()}
+}
+
+// Engine performs indirect operations over a store.
+type Engine struct {
+	cfg   Config
+	geom  core.Geometry
+	store *memsys.Store
+}
+
+// New returns an engine over a fresh store.
+func New(cfg Config) (*Engine, error) {
+	g, err := core.NewGeometry(cfg.Banks)
+	if err != nil {
+		return nil, fmt.Errorf("indirect: %w", err)
+	}
+	return &Engine{cfg: cfg, geom: g, store: memsys.NewStore()}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Store exposes the backing store for seeding and inspection.
+func (e *Engine) Store() *memsys.Store { return e.store }
+
+// Result reports one indirect operation.
+type Result struct {
+	Cycles         uint64   // total modeled latency
+	BroadcastCycle uint64   // cycles spent broadcasting addresses (2/cycle)
+	BankCycles     []uint64 // per-bank service time
+	StageCycles    uint64   // line transfer back (or in) over the bus
+	Data           []uint32 // gathered data (nil for scatters)
+}
+
+// GatherAddrs gathers arbitrary word addresses in parallel across the
+// banks. This is the phase-two primitive; bit-reversed gathers and the
+// second phase of vector-indirect reads use it directly.
+func (e *Engine) GatherAddrs(addrs []uint32) (Result, error) {
+	return e.run(addrs, nil)
+}
+
+// ScatterAddrs writes data[i] to addrs[i], the scatter dual.
+func (e *Engine) ScatterAddrs(addrs []uint32, data []uint32) (Result, error) {
+	if len(addrs) != len(data) {
+		return Result{}, fmt.Errorf("indirect: %d addresses, %d data words", len(addrs), len(data))
+	}
+	return e.run(addrs, data)
+}
+
+// Gather is the full two-phase operation: load the indirection vector
+// iv (whose elements are word offsets), then gather table[iv[i]] for
+// every element.
+func (e *Engine) Gather(table uint32, iv core.Vector) (Result, error) {
+	// Phase (i): the indirection vector load is an ordinary base-stride
+	// gather.
+	p1, err := e.GatherAddrs(expand(iv))
+	if err != nil {
+		return Result{}, fmt.Errorf("indirect: phase 1: %w", err)
+	}
+	// Phase (ii): broadcast the resolved addresses.
+	addrs := make([]uint32, len(p1.Data))
+	for i, off := range p1.Data {
+		addrs[i] = table + off
+	}
+	p2, err := e.GatherAddrs(addrs)
+	if err != nil {
+		return Result{}, fmt.Errorf("indirect: phase 2: %w", err)
+	}
+	p2.Cycles += p1.Cycles
+	return p2, nil
+}
+
+// Scatter is the write dual of Gather.
+func (e *Engine) Scatter(table uint32, iv core.Vector, data []uint32) (Result, error) {
+	p1, err := e.GatherAddrs(expand(iv))
+	if err != nil {
+		return Result{}, fmt.Errorf("indirect: phase 1: %w", err)
+	}
+	addrs := make([]uint32, len(p1.Data))
+	for i, off := range p1.Data {
+		addrs[i] = table + off
+	}
+	p2, err := e.ScatterAddrs(addrs, data)
+	if err != nil {
+		return Result{}, fmt.Errorf("indirect: phase 2: %w", err)
+	}
+	p2.Cycles += p1.Cycles
+	return p2, nil
+}
+
+func expand(v core.Vector) []uint32 {
+	out := make([]uint32, v.Length)
+	for i := range out {
+		out[i] = v.Addr(uint32(i))
+	}
+	return out
+}
+
+// run models one parallel access: claim by bit mask, per-bank greedy
+// SDRAM service, merge. isWrite when data != nil.
+func (e *Engine) run(addrs []uint32, data []uint32) (Result, error) {
+	if len(addrs) == 0 {
+		return Result{}, fmt.Errorf("indirect: empty address list")
+	}
+	res := Result{
+		BroadcastCycle: uint64(len(addrs)+1) / 2, // two addresses per bus cycle
+		BankCycles:     make([]uint64, e.cfg.Banks),
+		StageCycles:    1 + uint64(len(addrs)+1)/2,
+	}
+	if data == nil {
+		res.Data = make([]uint32, len(addrs))
+	}
+	// Claim: bank b takes address a iff DecodeBank(a) == b — the
+	// "simple bit-mask operation".
+	claims := make([][]claim, e.cfg.Banks)
+	for i, a := range addrs {
+		b := e.geom.DecodeBank(a)
+		claims[b] = append(claims[b], claim{idx: i, a: a})
+	}
+	var worst uint64
+	for b := uint32(0); b < e.cfg.Banks; b++ {
+		if len(claims[b]) == 0 {
+			continue
+		}
+		cycles, err := e.serviceBank(b, claims[b], data, res.Data)
+		if err != nil {
+			return Result{}, err
+		}
+		res.BankCycles[b] = cycles
+		if cycles > worst {
+			worst = cycles
+		}
+	}
+	res.Cycles = res.BroadcastCycle + worst + res.StageCycles
+	return res, nil
+}
+
+// claim is one element a bank took from the broadcast.
+type claim struct {
+	idx int    // position in the dense line
+	a   uint32 // word address
+}
+
+// serviceBank drives a real SDRAM device with a greedy in-order open-row
+// schedule for the claimed elements and returns its busy time.
+func (e *Engine) serviceBank(bank uint32, elems []claim, wdata, out []uint32) (uint64, error) {
+	dev := sdram.New(e.cfg.SGeom, e.cfg.Timing, e.store, bank, e.cfg.Banks)
+	pending := len(elems)
+	pos := 0
+	var cycles uint64
+	for limit := 0; pending > 0; limit++ {
+		if limit > 1_000_000 {
+			return 0, fmt.Errorf("indirect: bank %d wedged", bank)
+		}
+		if pos < len(elems) {
+			el := elems[pos]
+			c := e.cfg.SGeom.Decompose(el.a >> e.geom.Log2Banks())
+			row, open := dev.OpenRow(c.IBank)
+			ready := dev.Cycle() >= dev.BankReadyAt(c.IBank)
+			switch {
+			case open && row == c.Row && ready:
+				req := sdram.Request{IBank: c.IBank, Row: c.Row, Col: c.Col, Tag: uint64(el.idx)}
+				if wdata != nil {
+					req.Cmd = sdram.Write
+					req.Data = wdata[el.idx]
+					pending--
+				} else {
+					req.Cmd = sdram.Read
+				}
+				if err := dev.Issue(req); err != nil {
+					return 0, err
+				}
+				pos++
+			case open && ready:
+				if err := dev.Issue(sdram.Request{Cmd: sdram.Precharge, IBank: c.IBank}); err != nil {
+					return 0, err
+				}
+			case !open && ready:
+				if err := dev.Issue(sdram.Request{Cmd: sdram.Activate, IBank: c.IBank, Row: c.Row}); err != nil {
+					return 0, err
+				}
+			}
+		}
+		for _, rr := range dev.Tick() {
+			out[rr.Tag] = rr.Data
+			pending--
+		}
+		cycles++
+	}
+	return cycles, nil
+}

@@ -1,0 +1,397 @@
+// Package kernels generates the vector-command traces of the paper's
+// evaluation (Table 2): copy, saxpy, scale, swap, tridiag and vaxpy,
+// plus the unrolled copy2/scale2 variants whose read and write commands
+// are grouped pairwise.
+//
+// Each kernel walks application vectors of 1024 elements (Section 6.2)
+// split into cache-line-sized commands of 32 elements. Writes carry
+// Compute closures that derive their line from the reads of the same
+// loop iteration — over the integers rather than floats, which changes
+// nothing about memory behaviour and makes end-to-end data verification
+// exact. Traces also encode the dataflow dependences an infinitely fast
+// out-of-order CPU would honor: a write waits for the reads (and, for
+// tridiag's recurrence, the previous write) of its iteration, while
+// reads of later iterations proceed independently.
+package kernels
+
+import (
+	"fmt"
+
+	"pva/internal/core"
+	"pva/internal/memsys"
+)
+
+// A is the scalar multiplier used by saxpy, scale and vaxpy.
+const A uint32 = 3
+
+// Machine carries the memory-organization constants that alignment
+// schemes reference.
+type Machine struct {
+	Banks     uint32 // M: external banks (16)
+	RowWords  uint32 // SDRAM row size in words (512)
+	IBanks    uint32 // internal banks per device (4)
+	LineWords uint32 // cache line in words (32)
+}
+
+// PaperMachine is the Section 5.1 prototype organization.
+func PaperMachine() Machine {
+	return Machine{Banks: 16, RowWords: 512, IBanks: 4, LineWords: 32}
+}
+
+// Alignments is the number of relative vector alignments in the sweep.
+// The paper evaluates five placements "within memory banks, within
+// internal banks for a given SDRAM, and within rows or pages"; ours are:
+//
+//	0 aligned      — all vectors start in bank 0 at identical offsets
+//	                 (maximal structural conflict)
+//	1 bank-spread  — vector v offset v words: bases in adjacent banks
+//	2 word-spread  — vector v offset v*M words: same bank, neighbouring
+//	                 bank-words (same internal bank and row region)
+//	3 ibank-spread — vector v offset v*M*RowWords: same bank, different
+//	                 internal banks (activates can overlap)
+//	4 row-conflict — vector v offset v*M*RowWords*IBanks: same bank, the
+//	                 same internal bank, different rows (worst row churn)
+const Alignments = 5
+
+// AlignmentName names an alignment scheme for reports.
+func AlignmentName(a int) string {
+	switch a {
+	case 0:
+		return "aligned"
+	case 1:
+		return "bank-spread"
+	case 2:
+		return "word-spread"
+	case 3:
+		return "ibank-spread"
+	case 4:
+		return "row-conflict"
+	default:
+		return fmt.Sprintf("alignment-%d", a)
+	}
+}
+
+// Params selects one experimental point.
+type Params struct {
+	Stride    uint32 // element stride in words (>= 1)
+	Elements  uint32 // elements per application vector (1024)
+	Alignment int    // 0..Alignments-1
+	Machine   Machine
+}
+
+// PaperParams returns the Section 6.2 defaults for a stride and
+// alignment: 1024-element vectors on the prototype machine.
+func PaperParams(stride uint32, alignment int) Params {
+	return Params{Stride: stride, Elements: 1024, Alignment: alignment, Machine: PaperMachine()}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Stride == 0 {
+		return fmt.Errorf("kernels: stride must be positive")
+	}
+	if p.Elements == 0 || p.Machine.LineWords == 0 {
+		return fmt.Errorf("kernels: elements and line words must be positive")
+	}
+	if p.Elements%p.Machine.LineWords != 0 {
+		return fmt.Errorf("kernels: %d elements not a multiple of the %d-element command length",
+			p.Elements, p.Machine.LineWords)
+	}
+	if p.Alignment < 0 || p.Alignment >= Alignments {
+		return fmt.Errorf("kernels: alignment %d out of range", p.Alignment)
+	}
+	// Vectors live in disjoint 2^22-word regions; the span of one vector
+	// must fit so that alignments never make them overlap.
+	if span := uint64(p.Stride)*uint64(p.Elements-1) + 1; span+uint64(p.alignOffset(maxVectors)) >= regionWords {
+		return fmt.Errorf("kernels: stride %d spans past the vector region", p.Stride)
+	}
+	return nil
+}
+
+const (
+	regionWords = 1 << 22 // spacing between vector base regions
+	maxVectors  = 4       // most vectors any kernel uses (vaxpy, tridiag)
+)
+
+// alignOffset is the low-order offset alignment a gives vector v.
+func (p Params) alignOffset(v uint32) uint32 {
+	m := p.Machine
+	switch p.Alignment {
+	case 0:
+		return 0
+	case 1:
+		return v
+	case 2:
+		return v * m.Banks
+	case 3:
+		return v * m.Banks * m.RowWords
+	case 4:
+		return v * m.Banks * m.RowWords * m.IBanks
+	default:
+		return 0
+	}
+}
+
+// Base returns the base word address of the kernel's v-th vector.
+// Regions are spaced so relative alignment is fully controlled by
+// alignOffset (regionWords is a multiple of Banks*RowWords*IBanks).
+func (p Params) Base(v uint32) uint32 {
+	return (v+1)*regionWords + p.alignOffset(v)
+}
+
+// Kernel names a workload and builds its trace.
+type Kernel struct {
+	Name    string
+	Vectors int // distinct application vectors touched
+	Build   func(p Params) memsys.Trace
+}
+
+// All returns the eight access patterns of the evaluation in the order
+// the figures present them.
+func All() []Kernel {
+	return []Kernel{
+		{Name: "copy", Vectors: 2, Build: buildCopy},
+		{Name: "copy2", Vectors: 2, Build: buildCopy2},
+		{Name: "saxpy", Vectors: 2, Build: buildSaxpy},
+		{Name: "scale", Vectors: 1, Build: buildScale},
+		{Name: "scale2", Vectors: 1, Build: buildScale2},
+		{Name: "swap", Vectors: 2, Build: buildSwap},
+		{Name: "tridiag", Vectors: 3, Build: buildTridiag},
+		{Name: "vaxpy", Vectors: 3, Build: buildVaxpy},
+	}
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// chunk returns the command vector for the k-th line-sized piece of the
+// vector based at base.
+func (p Params) chunk(base uint32, k uint32) core.Vector {
+	l := p.Machine.LineWords
+	return core.Vector{
+		Base:   base + k*l*p.Stride,
+		Stride: p.Stride,
+		Length: l,
+	}
+}
+
+func (p Params) iterations() uint32 { return p.Elements / p.Machine.LineWords }
+
+func mustValidate(p Params) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// copy: y[i] = x[i]
+func buildCopy(p Params) memsys.Trace {
+	mustValidate(p)
+	x, y := p.Base(0), p.Base(1)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k),
+			DependsOn: []int{r},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[0] },
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// copy2: copy unrolled twice, reads grouped before writes.
+func buildCopy2(p Params) memsys.Trace {
+	mustValidate(p)
+	x, y := p.Base(0), p.Base(1)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k += 2 {
+		r0 := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k+1)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k),
+			DependsOn: []int{r0},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[0] },
+		})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k+1),
+			DependsOn: []int{r0 + 1},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[0] },
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// saxpy: y[i] += a * x[i]
+func buildSaxpy(p Params) memsys.Trace {
+	mustValidate(p)
+	x, y := p.Base(0), p.Base(1)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(y, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k),
+			DependsOn: []int{r, r + 1},
+			Compute: func(deps [][]uint32) []uint32 {
+				out := make([]uint32, len(deps[1]))
+				for i := range out {
+					out[i] = deps[1][i] + A*deps[0][i]
+				}
+				return out
+			},
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// scale: x[i] = a * x[i]
+func buildScale(p Params) memsys.Trace {
+	mustValidate(p)
+	x := p.Base(0)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(x, k),
+			DependsOn: []int{r},
+			Compute: func(deps [][]uint32) []uint32 {
+				out := make([]uint32, len(deps[0]))
+				for i := range out {
+					out[i] = A * deps[0][i]
+				}
+				return out
+			},
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// scale2: scale unrolled twice, reads grouped before writes.
+func buildScale2(p Params) memsys.Trace {
+	mustValidate(p)
+	x := p.Base(0)
+	var cmds []memsys.VectorCmd
+	mul := func(deps [][]uint32) []uint32 {
+		out := make([]uint32, len(deps[0]))
+		for i := range out {
+			out[i] = A * deps[0][i]
+		}
+		return out
+	}
+	for k := uint32(0); k < p.iterations(); k += 2 {
+		r0 := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k+1)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(x, k),
+			DependsOn: []int{r0}, Compute: mul,
+		})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(x, k+1),
+			DependsOn: []int{r0 + 1}, Compute: mul,
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// swap: reg = x[i]; x[i] = y[i]; y[i] = reg
+func buildSwap(p Params) memsys.Trace {
+	mustValidate(p)
+	x, y := p.Base(0), p.Base(1)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(y, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(x, k),
+			DependsOn: []int{r, r + 1},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[1] },
+		})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k),
+			DependsOn: []int{r, r + 1},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[0] },
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// tridiag: x[i] = z[i] * (y[i] - x[i-1]) — Livermore loop 5. The x[i-1]
+// operand is the value computed in the previous position (a true
+// recurrence held in a register), so memory traffic is two reads and one
+// write per iteration, with the write chained to its predecessor.
+func buildTridiag(p Params) memsys.Trace {
+	mustValidate(p)
+	xb, yb, zb := p.Base(0), p.Base(1), p.Base(2)
+	var cmds []memsys.VectorCmd
+	prevWrite := -1
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(yb, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(zb, k)})
+		deps := []int{r, r + 1}
+		carryFromPrev := prevWrite >= 0
+		if carryFromPrev {
+			deps = append(deps, prevWrite)
+		}
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(xb, k),
+			DependsOn: deps,
+			Compute: func(deps [][]uint32) []uint32 {
+				y, z := deps[0], deps[1]
+				var carry uint32
+				if carryFromPrev {
+					prev := deps[2]
+					carry = prev[len(prev)-1]
+				}
+				out := make([]uint32, len(y))
+				for i := range out {
+					out[i] = z[i] * (y[i] - carry)
+					carry = out[i]
+				}
+				return out
+			},
+		})
+		prevWrite = len(cmds) - 1
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// vaxpy: y[i] += a[i] * x[i] — "vector axpy" from matrix-vector multiply
+// by diagonals.
+func buildVaxpy(p Params) memsys.Trace {
+	mustValidate(p)
+	ab, xb, yb := p.Base(0), p.Base(1), p.Base(2)
+	var cmds []memsys.VectorCmd
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(ab, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(xb, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(yb, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(yb, k),
+			DependsOn: []int{r, r + 1, r + 2},
+			Compute: func(deps [][]uint32) []uint32 {
+				a, x, y := deps[0], deps[1], deps[2]
+				out := make([]uint32, len(y))
+				for i := range out {
+					out[i] = y[i] + a[i]*x[i]
+				}
+				return out
+			},
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}

@@ -1,0 +1,210 @@
+package kernels
+
+import (
+	"testing"
+
+	"pva/internal/memsys"
+)
+
+func TestAllKernelsBuildValidTraces(t *testing.T) {
+	for _, k := range All() {
+		for _, stride := range []uint32{1, 2, 4, 8, 16, 19} {
+			for a := 0; a < Alignments; a++ {
+				tr := k.Build(PaperParams(stride, a))
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("%s stride %d align %d: %v", k.Name, stride, a, err)
+				}
+				if len(tr.Cmds) == 0 {
+					t.Fatalf("%s: empty trace", k.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelCommandCounts(t *testing.T) {
+	// 1024 elements = 32 iterations of 32-element commands.
+	counts := map[string]int{
+		"copy":    64, // R+W per iteration
+		"copy2":   64, // same commands, regouped
+		"saxpy":   96, // R,R,W
+		"scale":   64, // R,W
+		"scale2":  64,
+		"swap":    128, // R,R,W,W
+		"tridiag": 96,  // R,R,W
+		"vaxpy":   128, // R,R,R,W
+	}
+	for _, k := range All() {
+		tr := k.Build(PaperParams(1, 0))
+		if got := len(tr.Cmds); got != counts[k.Name] {
+			t.Errorf("%s: %d commands, want %d", k.Name, got, counts[k.Name])
+		}
+	}
+}
+
+func TestCopy2Grouping(t *testing.T) {
+	tr := buildCopy2(PaperParams(1, 0))
+	// Pattern: R,R,W,W repeated.
+	for i := 0; i < len(tr.Cmds); i += 4 {
+		if tr.Cmds[i].Op != memsys.Read || tr.Cmds[i+1].Op != memsys.Read ||
+			tr.Cmds[i+2].Op != memsys.Write || tr.Cmds[i+3].Op != memsys.Write {
+			t.Fatalf("group at %d not R,R,W,W", i)
+		}
+	}
+}
+
+func TestVectorRegionsDisjoint(t *testing.T) {
+	p := PaperParams(19, 4)
+	for v := uint32(0); v < maxVectors; v++ {
+		start := uint64(p.Base(v))
+		end := start + uint64(p.Stride)*uint64(p.Elements-1)
+		for w := v + 1; w < maxVectors; w++ {
+			ws := uint64(p.Base(w))
+			if end >= ws {
+				t.Fatalf("vector %d [%d,%d] overlaps vector %d start %d", v, start, end, w, ws)
+			}
+		}
+	}
+}
+
+func TestAlignmentsControlBankPlacement(t *testing.T) {
+	m := PaperMachine()
+	// Alignment 0: all bases in bank 0 (regions are bank-aligned).
+	p := PaperParams(1, 0)
+	for v := uint32(0); v < 3; v++ {
+		if p.Base(v)%m.Banks != 0 {
+			t.Errorf("aligned: vector %d base in bank %d", v, p.Base(v)%m.Banks)
+		}
+	}
+	// Alignment 1: vector v in bank v.
+	p = PaperParams(1, 1)
+	for v := uint32(0); v < 3; v++ {
+		if p.Base(v)%m.Banks != v {
+			t.Errorf("bank-spread: vector %d base in bank %d", v, p.Base(v)%m.Banks)
+		}
+	}
+	// Alignments 2..4 keep all bases in bank 0 but change bank-word
+	// placement.
+	for a := 2; a < Alignments; a++ {
+		p = PaperParams(1, a)
+		for v := uint32(0); v < 3; v++ {
+			if p.Base(v)%m.Banks != 0 {
+				t.Errorf("%s: vector %d base in bank %d", AlignmentName(a), v, p.Base(v)%m.Banks)
+			}
+		}
+	}
+	// Alignment 3 separates internal banks; alignment 4 collides them.
+	p3, p4 := PaperParams(1, 3), PaperParams(1, 4)
+	ib := func(base uint32) uint32 { return (base / m.Banks / m.RowWords) % m.IBanks }
+	if ib(p3.Base(0)) == ib(p3.Base(1)) {
+		t.Error("ibank-spread: vectors 0 and 1 share an internal bank")
+	}
+	if ib(p4.Base(0)) != ib(p4.Base(1)) {
+		t.Error("row-conflict: vectors 0 and 1 in different internal banks")
+	}
+	row := func(base uint32) uint32 { return base / m.Banks / m.RowWords / m.IBanks }
+	if row(p4.Base(0)) == row(p4.Base(1)) {
+		t.Error("row-conflict: vectors 0 and 1 share a row index")
+	}
+}
+
+// TestKernelSemantics verifies each kernel's Compute dataflow against a
+// direct scalar implementation, using the functional reference executor.
+func TestKernelSemantics(t *testing.T) {
+	const stride, elems = 3, 128
+	p := Params{Stride: stride, Elements: elems, Alignment: 1, Machine: PaperMachine()}
+
+	// scalar model over the same Fill-initialized memory
+	mem := map[uint32]uint32{}
+	rd := func(a uint32) uint32 {
+		if v, ok := mem[a]; ok {
+			return v
+		}
+		return memsys.Fill(a)
+	}
+	wr := func(a, v uint32) { mem[a] = v }
+
+	for _, k := range All() {
+		mem = map[uint32]uint32{}
+		switch k.Name {
+		case "copy", "copy2":
+			x, y := p.Base(0), p.Base(1)
+			for i := uint32(0); i < elems; i++ {
+				wr(y+i*stride, rd(x+i*stride))
+			}
+		case "saxpy":
+			x, y := p.Base(0), p.Base(1)
+			for i := uint32(0); i < elems; i++ {
+				wr(y+i*stride, rd(y+i*stride)+A*rd(x+i*stride))
+			}
+		case "scale", "scale2":
+			x := p.Base(0)
+			for i := uint32(0); i < elems; i++ {
+				wr(x+i*stride, A*rd(x+i*stride))
+			}
+		case "swap":
+			x, y := p.Base(0), p.Base(1)
+			for i := uint32(0); i < elems; i++ {
+				xv, yv := rd(x+i*stride), rd(y+i*stride)
+				wr(x+i*stride, yv)
+				wr(y+i*stride, xv)
+			}
+		case "tridiag":
+			x, y, z := p.Base(0), p.Base(1), p.Base(2)
+			var carry uint32
+			for i := uint32(0); i < elems; i++ {
+				v := rd(z+i*stride) * (rd(y+i*stride) - carry)
+				wr(x+i*stride, v)
+				carry = v
+			}
+		case "vaxpy":
+			a, x, y := p.Base(0), p.Base(1), p.Base(2)
+			for i := uint32(0); i < elems; i++ {
+				wr(y+i*stride, rd(y+i*stride)+rd(a+i*stride)*rd(x+i*stride))
+			}
+		default:
+			t.Fatalf("no scalar model for %s", k.Name)
+		}
+
+		ref := memsys.NewReference()
+		if _, err := ref.Run(k.Build(p)); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for a, want := range mem {
+			if got := ref.Peek(a); got != want {
+				t.Fatalf("%s: mem[%d] = %#x, want %#x", k.Name, a, got, want)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("copy"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := PaperParams(1, 0)
+	p.Stride = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero stride accepted")
+	}
+	p = PaperParams(1, 0)
+	p.Elements = 100 // not a multiple of 32
+	if err := p.Validate(); err == nil {
+		t.Error("ragged element count accepted")
+	}
+	p = PaperParams(1, 0)
+	p.Alignment = 99
+	if err := p.Validate(); err == nil {
+		t.Error("alignment 99 accepted")
+	}
+	p = PaperParams(1<<21, 0)
+	if err := p.Validate(); err == nil {
+		t.Error("region-overflowing stride accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package memsys defines the contract shared by every memory system the
+// evaluation compares: vector command traces, execution results, run
+// statistics, and a functional reference memory used to verify that each
+// cycle-level model moves the right data.
+//
+// The paper's Section 6.2 methodology drives each memory system with the
+// vector requests an infinitely fast CPU would generate: VEC_READ /
+// VEC_WRITE commands of one cache line (32 elements) each, at most eight
+// outstanding, writes dependent on the reads of their loop iteration.
+// Trace captures exactly that, including the dataflow (a write command
+// computes its line from the read lines it depends on), so that a system
+// under test must both *time* and *move* the data correctly.
+package memsys
+
+import (
+	"fmt"
+
+	"pva/internal/core"
+)
+
+// Op distinguishes vector reads from vector writes.
+type Op uint8
+
+const (
+	// Read gathers strided words into a dense line.
+	Read Op = iota
+	// Write scatters a dense line to strided words.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// VectorCmd is one vector bus command: a base-stride vector plus the
+// dataflow needed to execute it.
+type VectorCmd struct {
+	Op Op
+	V  core.Vector
+
+	// DependsOn lists indices of earlier commands in the trace whose
+	// completion must precede this command's issue. For writes these are
+	// the reads whose data feeds Compute; for reads they encode serial
+	// dependences such as tridiag's recurrence.
+	DependsOn []int
+
+	// Compute produces the dense line a write scatters, given the lines
+	// of DependsOn in order: gathered data for read dependencies, the
+	// computed line for write dependencies (how loop-carried values such
+	// as tridiag's recurrence flow between iterations). nil for reads;
+	// nil for writes whose Data is preset.
+	Compute func(deps [][]uint32) []uint32
+
+	// Data is the preset dense line for writes without a Compute.
+	Data []uint32
+}
+
+// Trace is a program-order sequence of vector commands.
+type Trace struct {
+	Cmds []VectorCmd
+}
+
+// Validate checks structural sanity: dependency indices in range and
+// strictly earlier, writes with exactly one data source, lengths positive.
+func (t Trace) Validate() error {
+	for i, c := range t.Cmds {
+		if c.V.Length == 0 {
+			return fmt.Errorf("memsys: cmd %d has zero length", i)
+		}
+		for _, d := range c.DependsOn {
+			if d < 0 || d >= i {
+				return fmt.Errorf("memsys: cmd %d depends on %d (out of order)", i, d)
+			}
+		}
+		switch c.Op {
+		case Read:
+			if c.Compute != nil || c.Data != nil {
+				return fmt.Errorf("memsys: read cmd %d carries write data", i)
+			}
+		case Write:
+			if c.Compute == nil && uint32(len(c.Data)) != c.V.Length {
+				return fmt.Errorf("memsys: write cmd %d has %d data words, want %d", i, len(c.Data), c.V.Length)
+			}
+		default:
+			return fmt.Errorf("memsys: cmd %d has unknown op %d", i, c.Op)
+		}
+	}
+	return nil
+}
+
+// Stats are the counters every system reports; systems leave counters at
+// zero when the concept does not apply (an SRAM system has no row
+// activity, a serial system no parallel banks).
+type Stats struct {
+	BusBusyCycles    uint64 // cycles the shared bus carried a command or data
+	TurnaroundCycles uint64 // bus-polarity turnaround cycles inserted
+	SDRAMReads       uint64 // word reads issued to memory devices
+	SDRAMWrites      uint64 // word writes issued to memory devices
+	Activates        uint64 // row activate operations
+	Precharges       uint64 // precharge operations (incl. auto-precharge)
+	RowHits          uint64 // reads/writes that hit an already-open row
+	LineFills        uint64 // whole cache-line fills (cache-line serial system)
+}
+
+// Result of executing a trace on a memory system.
+type Result struct {
+	// Cycles is the total execution time: from the first command issue to
+	// the completion of the last transaction.
+	Cycles uint64
+	// ReadData holds, for each read command (indexed like Trace.Cmds,
+	// nil entries for writes), the dense gathered line.
+	ReadData [][]uint32
+	Stats    Stats
+}
+
+// System is a memory system that executes vector command traces.
+type System interface {
+	// Name identifies the system in reports ("pva-sdram", ...).
+	Name() string
+	// Run executes the trace from a cold start and reports timing, the
+	// gathered read data, and statistics. Implementations must apply the
+	// trace's writes to their backing store so callers can audit final
+	// memory contents via Peek.
+	Run(t Trace) (Result, error)
+	// Peek returns the current value of a word in the system's backing
+	// store (after Run, the final memory image).
+	Peek(a uint32) uint32
+}
+
+// Fill is the deterministic initial content of every word of every
+// memory system and of the reference memory: systems lazily materialize
+// Fill(addr) for never-written words, so all models agree on cold
+// contents without shipping initialization lists around.
+func Fill(a uint32) uint32 {
+	x := a*2654435761 + 0x9e3779b9
+	x ^= x >> 16
+	return x
+}

@@ -1,0 +1,180 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pva/internal/core"
+)
+
+func TestFillDeterministic(t *testing.T) {
+	if Fill(1234) != Fill(1234) {
+		t.Fatal("Fill not deterministic")
+	}
+	seen := map[uint32]bool{}
+	collisions := 0
+	for a := uint32(0); a < 10000; a++ {
+		if seen[Fill(a)] {
+			collisions++
+		}
+		seen[Fill(a)] = true
+	}
+	if collisions > 3 {
+		t.Errorf("Fill has %d collisions over 10k addresses", collisions)
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s := NewStore()
+	if got := s.Read(100); got != Fill(100) {
+		t.Fatalf("cold read = %#x, want Fill", got)
+	}
+	s.Write(100, 42)
+	if got := s.Read(100); got != 42 {
+		t.Fatalf("read after write = %d", got)
+	}
+	// Neighbours in the same freshly allocated page still read as Fill.
+	if got := s.Read(101); got != Fill(101) {
+		t.Fatalf("neighbour read = %#x, want Fill", got)
+	}
+}
+
+func TestStorePageBoundary(t *testing.T) {
+	s := NewStore()
+	s.Write(PageWords-1, 1)
+	s.Write(PageWords, 2)
+	if s.Read(PageWords-1) != 1 || s.Read(PageWords) != 2 {
+		t.Fatal("page boundary writes lost")
+	}
+}
+
+func TestStoreQuick(t *testing.T) {
+	s := NewStore()
+	written := map[uint32]uint32{}
+	f := func(a, v uint32) bool {
+		s.Write(a, v)
+		written[a] = v
+		return s.Read(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for a, v := range written {
+		if s.Read(a) != v {
+			t.Fatalf("store forgot write at %d", a)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	s := NewStore()
+	v := core.Vector{Base: 1000, Stride: 7, Length: 32}
+	data := make([]uint32, 32)
+	for i := range data {
+		data[i] = uint32(i) * 3
+	}
+	s.Scatter(v, data)
+	got := s.Gather(v)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("round trip word %d: %d != %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestScatterOverlapLastWins(t *testing.T) {
+	s := NewStore()
+	v := core.Vector{Base: 500, Stride: 0, Length: 4}
+	s.Scatter(v, []uint32{1, 2, 3, 4})
+	if got := s.Read(500); got != 4 {
+		t.Fatalf("stride-0 scatter = %d, want 4 (last element wins)", got)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{Cmds: []VectorCmd{
+		{Op: Read, V: core.Vector{Base: 0, Stride: 1, Length: 4}},
+		{Op: Write, V: core.Vector{Base: 64, Stride: 1, Length: 4}, Data: []uint32{1, 2, 3, 4}},
+		{Op: Write, V: core.Vector{Base: 128, Stride: 1, Length: 4}, DependsOn: []int{0},
+			Compute: func(d [][]uint32) []uint32 { return d[0] }},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trace{
+		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 0}}}},
+		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{0}}}},
+		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{5}}}},
+		{Cmds: []VectorCmd{{Op: Write, V: core.Vector{Length: 4}, Data: []uint32{1}}}},
+		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, Data: []uint32{1}}}},
+		{Cmds: []VectorCmd{{Op: Op(9), V: core.Vector{Length: 1}}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestReferenceRun(t *testing.T) {
+	ref := NewReference()
+	v := core.Vector{Base: 0, Stride: 2, Length: 8}
+	res, err := ref.Run(Trace{Cmds: []VectorCmd{
+		{Op: Read, V: v},
+		{Op: Write, V: v, DependsOn: []int{0}, Compute: func(d [][]uint32) []uint32 {
+			out := make([]uint32, len(d[0]))
+			for i := range out {
+				out[i] = d[0][i] + 1
+			}
+			return out
+		}},
+		{Op: Read, V: v},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.ReadData[0] {
+		if res.ReadData[2][i] != res.ReadData[0][i]+1 {
+			t.Fatalf("write not visible to later read at %d", i)
+		}
+	}
+	if res.Cycles != 0 {
+		t.Errorf("reference reported %d cycles", res.Cycles)
+	}
+}
+
+func TestWriteDataErrors(t *testing.T) {
+	if _, err := WriteData(VectorCmd{Op: Read}, nil); err == nil {
+		t.Error("WriteData on read accepted")
+	}
+	c := VectorCmd{Op: Write, V: core.Vector{Length: 4}, Data: []uint32{1, 2}}
+	if _, err := WriteData(c, nil); err == nil {
+		t.Error("short preset data accepted")
+	}
+	c = VectorCmd{Op: Write, V: core.Vector{Length: 4},
+		Compute: func([][]uint32) []uint32 { return []uint32{1} }}
+	if _, err := WriteData(c, nil); err == nil {
+		t.Error("short computed data accepted")
+	}
+}
+
+func TestWriteDataPassesWriteLines(t *testing.T) {
+	lines := [][]uint32{{7, 8}, nil}
+	c := VectorCmd{
+		Op: Write, V: core.Vector{Length: 2}, DependsOn: []int{0},
+		Compute: func(d [][]uint32) []uint32 { return d[0] },
+	}
+	got, err := WriteData(c, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("WriteData = %v", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("bad op strings")
+	}
+}

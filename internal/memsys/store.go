@@ -1,0 +1,59 @@
+// Store: a lazily materialized word store shared by every memory model.
+
+package memsys
+
+import "pva/internal/core"
+
+// PageWords is the allocation granularity of Store.
+const PageWords = 4096
+
+// Store is a sparse 32-bit word memory. Unwritten words read as
+// Fill(addr), so independently constructed stores agree on cold contents.
+type Store struct {
+	pages map[uint32][]uint32
+}
+
+// NewStore returns an empty (all-Fill) store.
+func NewStore() *Store { return &Store{pages: make(map[uint32][]uint32)} }
+
+// Read returns the word at address a.
+func (s *Store) Read(a uint32) uint32 {
+	if p, ok := s.pages[a/PageWords]; ok {
+		return p[a%PageWords]
+	}
+	return Fill(a)
+}
+
+// Write stores v at address a.
+func (s *Store) Write(a, v uint32) {
+	pn := a / PageWords
+	p, ok := s.pages[pn]
+	if !ok {
+		p = make([]uint32, PageWords)
+		base := pn * PageWords
+		for i := range p {
+			p[i] = Fill(base + uint32(i))
+		}
+		s.pages[pn] = p
+	}
+	p[a%PageWords] = v
+}
+
+// Gather reads the dense line of a vector: element i of the result is the
+// word at v.Addr(i).
+func (s *Store) Gather(v core.Vector) []uint32 {
+	out := make([]uint32, v.Length)
+	for i := uint32(0); i < v.Length; i++ {
+		out[i] = s.Read(v.Addr(i))
+	}
+	return out
+}
+
+// Scatter writes the dense line data to the vector's strided addresses.
+// When the vector self-overlaps (stride 0, or wrap collisions), later
+// elements win, matching issue order in the hardware.
+func (s *Store) Scatter(v core.Vector, data []uint32) {
+	for i := uint32(0); i < v.Length && i < uint32(len(data)); i++ {
+		s.Write(v.Addr(i), data[i])
+	}
+}

@@ -1,0 +1,448 @@
+// Package pvaunit assembles the complete Parallel Vector Access memory
+// system of Figure 1: a memory-controller front end, the split-
+// transaction vector bus, and one bank controller per word-interleaved
+// SDRAM bank.
+//
+// The front end models the Vector Command Unit driven by an infinitely
+// fast CPU (the Section 6.2 methodology): it issues each vector command
+// as soon as (i) its data dependences have completed, (ii) no earlier
+// un-broadcast command conflicts with it, (iii) a transaction ID is free
+// (eight outstanding), and (iv) the bus is free. The bus protocol follows
+// Section 5.2.6 exactly:
+//
+//	read:  VEC_READ broadcast (1 cycle) ... banks gather ... transaction-
+//	       complete line deasserts ... STAGE_READ (1 cycle) + 16 data
+//	       cycles during which the staging units drive the line back.
+//	write: STAGE_WRITE (1 cycle) + 16 data cycles delivering the dense
+//	       line to every staging unit, then the VEC_WRITE broadcast
+//	       (1 cycle); the line deasserts when all banks have committed.
+//
+// Ownership changes between the controller and the bank controllers cost
+// one bus turnaround cycle; the 128-bit BC bus trick (alternate 64-bit
+// halves) makes BC-to-BC handoffs inside a burst free, which is why a
+// whole 128-byte line stages in exactly 16 data cycles.
+package pvaunit
+
+import (
+	"fmt"
+
+	"pva/internal/addr"
+	"pva/internal/bankctl"
+	"pva/internal/bus"
+	"pva/internal/core"
+	"pva/internal/memsys"
+	"pva/internal/sdram"
+	"pva/internal/trace"
+)
+
+// Config describes a PVA memory system.
+type Config struct {
+	Banks     uint32         // M, power of two (prototype: 16)
+	LineWords uint32         // words per cache line / max vector length (32)
+	SGeom     addr.SDRAMGeom // per-bank device geometry
+	Timing    sdram.Timing   // device timing
+	Static    bool           // true: the idealized PVA-SRAM variant
+	VCWindow  int            // vector contexts per bank controller (4)
+	RFEntries int            // register-file entries per controller (8)
+	Policy    bankctl.Policy // scheduling policy; nil = paper heuristic
+	RowPolicy bankctl.RowPolicy
+	Observer  trace.Observer // optional event sink (nil: tracing off)
+	MaxCycles uint64         // deadlock guard; 0 = default
+}
+
+// PaperConfig returns the Section 5.1 prototype: 16 banks of
+// word-interleaved SDRAM, 128-byte lines, four internal banks per
+// device, two-cycle RAS/CAS/precharge.
+func PaperConfig() Config {
+	return Config{
+		Banks:     16,
+		LineWords: 32,
+		SGeom:     addr.MustSDRAMGeom(4, 512, 8192),
+		Timing:    sdram.PaperTiming(),
+		VCWindow:  4,
+		RFEntries: bus.MaxTransactions,
+	}
+}
+
+// SRAMConfig returns the idealized PVA-SRAM comparison system of Section
+// 6.1: the same parallel access scheme over single-cycle static memory.
+func SRAMConfig() Config {
+	c := PaperConfig()
+	c.Static = true
+	return c
+}
+
+// System is a PVA memory system.
+type System struct {
+	cfg   Config
+	store *memsys.Store
+}
+
+// New returns a PVA system with a cold (Fill-pattern) store.
+func New(cfg Config) (*System, error) {
+	if cfg.Banks == 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		return nil, fmt.Errorf("pvaunit: bank count %d not a power of two", cfg.Banks)
+	}
+	if cfg.LineWords == 0 {
+		return nil, fmt.Errorf("pvaunit: line words must be positive")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+	if cfg.VCWindow == 0 {
+		cfg.VCWindow = 4
+	}
+	if cfg.RFEntries == 0 {
+		cfg.RFEntries = bus.MaxTransactions
+	}
+	return &System{cfg: cfg, store: memsys.NewStore()}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements memsys.System.
+func (s *System) Name() string {
+	if s.cfg.Static {
+		return "pva-sram"
+	}
+	return "pva-sdram"
+}
+
+// Peek implements memsys.System.
+func (s *System) Peek(a uint32) uint32 { return s.store.Read(a) }
+
+// cmdState tracks one trace command through the bus protocol.
+type cmdState struct {
+	txn            int
+	issued         bool // bus tenure reserved (txn claimed)
+	broadcastDone  bool // BCs have observed the VEC_* command
+	broadcastAt    uint64
+	stageWriteEnd  uint64 // write: when the staged line lands in the SUs
+	gathered       bool   // read: transaction-complete line deasserted
+	stagingStarted bool   // read: STAGE_READ reserved
+	stageReadEnd   uint64
+	completed      bool
+	completedAt    uint64
+	line           []uint32 // read: gathered data; write: staged data
+}
+
+// Run implements memsys.System.
+func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
+	if err := t.Validate(); err != nil {
+		return memsys.Result{}, err
+	}
+	board := bus.NewBoard(s.cfg.Banks)
+	vbus := bus.New()
+	geom := core.MustGeometry(s.cfg.Banks)
+	bcs := make([]*bankctl.BC, s.cfg.Banks)
+	for b := uint32(0); b < s.cfg.Banks; b++ {
+		bcs[b] = bankctl.New(bankctl.Config{
+			Bank:      b,
+			Banks:     s.cfg.Banks,
+			Geom:      geom,
+			SGeom:     s.cfg.SGeom,
+			Timing:    s.cfg.Timing,
+			Static:    s.cfg.Static,
+			VCWindow:  s.cfg.VCWindow,
+			RFEntries: s.cfg.RFEntries,
+			FHCDelay:  2,
+			Policy:    s.cfg.Policy,
+			Observer:  s.cfg.Observer,
+		}, s.store, board)
+		if s.cfg.RowPolicy != nil {
+			bcs[b].SetRowPolicy(s.cfg.RowPolicy)
+		}
+	}
+	fe := &frontEnd{
+		cfg:   s.cfg,
+		trace: t,
+		state: make([]cmdState, len(t.Cmds)),
+		board: board,
+		bus:   vbus,
+		bcs:   bcs,
+	}
+	res, err := fe.run()
+	if err != nil {
+		return memsys.Result{}, err
+	}
+	// Fold device and controller counters into the common stats.
+	for _, bc := range bcs {
+		ds := bc.Device().Stats()
+		res.Stats.SDRAMReads += ds.Reads
+		res.Stats.SDRAMWrites += ds.Writes
+		res.Stats.Activates += ds.Activates
+		res.Stats.Precharges += ds.Precharges
+		res.Stats.RowHits += ds.RowHits
+	}
+	res.Stats.BusBusyCycles = vbus.BusyCycles()
+	res.Stats.TurnaroundCycles = vbus.TurnaroundCycles()
+	return res, nil
+}
+
+// frontEnd is the per-run protocol engine.
+type frontEnd struct {
+	cfg   Config
+	trace memsys.Trace
+	state []cmdState
+	board *bus.Board
+	bus   *bus.Bus
+	bcs   []*bankctl.BC
+
+	lines     [][]uint32 // per command: gathered line (reads) or computed line (writes)
+	remaining int
+	lastDone  uint64
+}
+
+func (fe *frontEnd) run() (memsys.Result, error) {
+	fe.lines = make([][]uint32, len(fe.trace.Cmds))
+	fe.remaining = len(fe.trace.Cmds)
+	if fe.remaining == 0 {
+		return memsys.Result{}, nil
+	}
+	for cycle := uint64(0); fe.remaining > 0; cycle++ {
+		if cycle > fe.cfg.MaxCycles {
+			return memsys.Result{}, fmt.Errorf("pvaunit: no forward progress after %d cycles (%d commands left)\n%s",
+				cycle, fe.remaining, fe.debugString())
+		}
+		if err := fe.step(cycle); err != nil {
+			return memsys.Result{}, err
+		}
+		for _, bc := range fe.bcs {
+			if err := bc.Tick(); err != nil {
+				return memsys.Result{}, err
+			}
+		}
+	}
+	readData := make([][]uint32, len(fe.trace.Cmds))
+	for i, c := range fe.trace.Cmds {
+		if c.Op == memsys.Read {
+			readData[i] = fe.lines[i]
+		}
+	}
+	return memsys.Result{Cycles: fe.lastDone, ReadData: readData}, nil
+}
+
+// debugString summarizes stuck state for the deadlock error.
+func (fe *frontEnd) debugString() string {
+	s := fmt.Sprintf("bus busyUntil=%d\n", fe.bus.BusyUntil())
+	for i := range fe.state {
+		st := &fe.state[i]
+		if st.completed {
+			continue
+		}
+		c := &fe.trace.Cmds[i]
+		s += fmt.Sprintf("cmd %d %v V=%+v txn=%d issued=%v bcast=%v gathered=%v staging=%v\n",
+			i, c.Op, c.V, st.txn, st.issued, st.broadcastDone, st.gathered, st.stagingStarted)
+	}
+	for _, bc := range fe.bcs {
+		if d := bc.DebugString(); d != "" {
+			s += d + "\n"
+		}
+	}
+	return s
+}
+
+// step performs the front end's work for one cycle: schedule the next
+// bus tenure (which may begin this very cycle), then deliver due events
+// and observe completion lines.
+func (fe *frontEnd) step(now uint64) error {
+	if err := fe.schedule(now); err != nil {
+		return err
+	}
+	// Write data lands in the staging units at the end of the
+	// STAGE_WRITE burst, before any broadcast due this cycle.
+	for i := range fe.state {
+		st := &fe.state[i]
+		c := &fe.trace.Cmds[i]
+		if c.Op == memsys.Write && st.issued && !st.broadcastDone && st.stageWriteEnd == now {
+			for _, bc := range fe.bcs {
+				bc.StageWriteData(st.txn, st.line)
+			}
+		}
+		if st.issued && !st.broadcastDone && st.broadcastAt == now {
+			fe.board.Open(st.txn)
+			for _, bc := range fe.bcs {
+				bc.ObserveCommand(c.Op, c.V, st.txn)
+			}
+			st.broadcastDone = true
+			fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.Broadcast, Txn: st.txn})
+		}
+	}
+
+	// Observe transaction-complete lines and finished STAGE_READ bursts.
+	for i := range fe.state {
+		st := &fe.state[i]
+		c := &fe.trace.Cmds[i]
+		if !st.broadcastDone || st.completed {
+			continue
+		}
+		switch c.Op {
+		case memsys.Read:
+			if !st.gathered && fe.board.AllDone(st.txn) {
+				st.gathered = true
+			}
+			if st.stagingStarted && st.stageReadEnd == now {
+				line := make([]uint32, c.V.Length)
+				got := 0
+				for _, bc := range fe.bcs {
+					got += bc.CollectRead(st.txn, line)
+				}
+				if got != int(c.V.Length) {
+					return fmt.Errorf("pvaunit: cmd %d staged %d of %d words", i, got, c.V.Length)
+				}
+				fe.finish(i, st, now, line)
+			}
+		case memsys.Write:
+			if fe.board.AllDone(st.txn) {
+				fe.finish(i, st, now, nil)
+			}
+		}
+	}
+
+	return nil
+}
+
+// schedule reserves at most one new bus tenure per cycle, when the bus
+// decision point has arrived (its current tenure has drained).
+func (fe *frontEnd) schedule(now uint64) error {
+	if fe.bus.BusyUntil() > now {
+		return nil
+	}
+	// Priority 1: drain a gathered read — it frees a transaction and
+	// unblocks dependents.
+	for i := range fe.state {
+		st := &fe.state[i]
+		if fe.trace.Cmds[i].Op != memsys.Read || !st.gathered || st.stagingStarted || st.completed {
+			continue
+		}
+		cmdAt := fe.bus.Free(now, bus.Controller)
+		if err := fe.bus.Reserve(cmdAt, 1, bus.Controller); err != nil {
+			return err
+		}
+		dataAt := fe.bus.Free(cmdAt+1, bus.Banks)
+		if err := fe.bus.Reserve(dataAt, uint64(dataCycles(fe.trace.Cmds[i].V.Length)), bus.Banks); err != nil {
+			return err
+		}
+		st.stagingStarted = true
+		st.stageReadEnd = dataAt + uint64(dataCycles(fe.trace.Cmds[i].V.Length))
+		fe.observe(trace.Event{Cycle: cmdAt, Bank: -1, Kind: trace.StageRead, Txn: st.txn})
+		return nil
+	}
+	// Priority 2: broadcast the oldest eligible command.
+	for i := range fe.state {
+		st := &fe.state[i]
+		if st.issued {
+			continue
+		}
+		ok, err := fe.eligible(i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		txn, free := fe.board.Alloc()
+		if !free {
+			break // all eight transactions outstanding
+		}
+		c := &fe.trace.Cmds[i]
+		st.txn = txn
+		st.issued = true
+		if c.Op == memsys.Read {
+			at := fe.bus.Free(now, bus.Controller)
+			if err := fe.bus.Reserve(at, 1, bus.Controller); err != nil {
+				return err
+			}
+			st.broadcastAt = at
+		} else {
+			data, err := memsys.WriteData(*c, fe.lines)
+			if err != nil {
+				return err
+			}
+			st.line = data
+			fe.lines[i] = data
+			// STAGE_WRITE command + data burst + VEC_WRITE broadcast,
+			// all controller-driven and contiguous.
+			burst := uint64(1 + dataCycles(c.V.Length) + 1)
+			at := fe.bus.Free(now, bus.Controller)
+			if err := fe.bus.Reserve(at, burst, bus.Controller); err != nil {
+				return err
+			}
+			st.stageWriteEnd = at + burst - 1
+			st.broadcastAt = at + burst - 1
+			fe.observe(trace.Event{Cycle: at, Bank: -1, Kind: trace.StageWrite, Txn: txn})
+		}
+		return nil
+	}
+	return nil
+}
+
+// observe forwards a bus-level event to the configured sink.
+func (fe *frontEnd) observe(e trace.Event) {
+	if fe.cfg.Observer != nil {
+		fe.cfg.Observer(e)
+	}
+}
+
+// finish retires a command: records data and completion time, releases
+// the transaction and all staging state.
+func (fe *frontEnd) finish(i int, st *cmdState, now uint64, line []uint32) {
+	st.completed = true
+	st.completedAt = now
+	fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.TxnComplete, Txn: st.txn})
+	if line != nil {
+		fe.lines[i] = line
+	}
+	fe.board.Release(st.txn)
+	for _, bc := range fe.bcs {
+		bc.Release(st.txn)
+	}
+	fe.remaining--
+	if now > fe.lastDone {
+		fe.lastDone = now
+	}
+}
+
+// eligible reports whether command i may be broadcast: dependences
+// completed and no conflicting earlier command still waiting. The
+// conflict guard keeps the out-of-order front end from reordering
+// aliasing commands — within a bank controller the polarity rule of
+// Section 5.2.4 provides this guarantee, but only for commands that
+// arrive in order.
+func (fe *frontEnd) eligible(i int) (bool, error) {
+	c := &fe.trace.Cmds[i]
+	for _, d := range c.DependsOn {
+		if !fe.state[d].completed {
+			return false, nil
+		}
+	}
+	for e := 0; e < i; e++ {
+		if fe.state[e].issued {
+			continue
+		}
+		ec := &fe.trace.Cmds[e]
+		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// overlaps conservatively tests whether two vectors might touch a common
+// word, by bounding-range intersection.
+func overlaps(a, b core.Vector) bool {
+	aEnd := uint64(a.Base) + uint64(a.Stride)*uint64(a.Length-1)
+	bEnd := uint64(b.Base) + uint64(b.Stride)*uint64(b.Length-1)
+	return uint64(a.Base) <= bEnd && uint64(b.Base) <= aEnd
+}
+
+// dataCycles is the number of bus data cycles a line of n words needs:
+// two words (64 bits) per cycle.
+func dataCycles(n uint32) int { return int((n + 1) / 2) }

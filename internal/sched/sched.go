@@ -1,0 +1,153 @@
+// Package sched implements the scheduling-theory baselines the paper
+// surveys when motivating its hardware heuristics (Section 3.4):
+// nonpreemptive Earliest Deadline First, plus simple policy adapters
+// (FCFS, shortest-job, EDF) that plug into the bank controller's
+// Scheduling Policy Unit slot for ablation experiments.
+//
+// The offline EDF construction follows the paper's three steps: schedule
+// the latest-deadline task as late as possible, repeat for the rest, and
+// finally compact everything forward in time preserving order.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pva/internal/bankctl"
+)
+
+// Task is one schedulable unit.
+type Task struct {
+	ID       int
+	Release  uint64 // earliest start
+	Deadline uint64 // completion deadline
+	Exec     uint64 // execution time (nonpreemptive)
+}
+
+// Slot is a scheduled task instance.
+type Slot struct {
+	ID    int
+	Start uint64
+	End   uint64
+}
+
+// EDF builds a nonpreemptive earliest-deadline-first schedule using the
+// paper's backward-then-compact construction. It returns the slots in
+// execution order and reports whether every task meets release and
+// deadline constraints (the nonpreemptive variant is a heuristic, not
+// optimal, as the paper notes).
+func EDF(tasks []Task) ([]Slot, bool, error) {
+	for _, t := range tasks {
+		if t.Exec == 0 {
+			return nil, false, fmt.Errorf("sched: task %d has zero execution time", t.ID)
+		}
+		if t.Release+t.Exec > t.Deadline {
+			return nil, false, fmt.Errorf("sched: task %d cannot meet its deadline even alone", t.ID)
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, true, nil
+	}
+	// Order by deadline (ascending); ties by release.
+	ord := make([]Task, len(tasks))
+	copy(ord, tasks)
+	sort.Slice(ord, func(i, j int) bool {
+		if ord[i].Deadline != ord[j].Deadline {
+			return ord[i].Deadline < ord[j].Deadline
+		}
+		return ord[i].Release < ord[j].Release
+	})
+	// Step 1-2: walk from the latest deadline backward, placing each
+	// task as late as possible.
+	slots := make([]Slot, len(ord))
+	var limit uint64 = ^uint64(0)
+	for i := len(ord) - 1; i >= 0; i-- {
+		t := ord[i]
+		end := t.Deadline
+		if end > limit {
+			end = limit
+		}
+		if end < t.Exec {
+			return nil, false, nil
+		}
+		start := end - t.Exec
+		slots[i] = Slot{ID: t.ID, Start: start, End: end}
+		limit = start
+	}
+	// Step 3: move tasks forward as much as possible, maintaining order
+	// and releases.
+	var cursor uint64
+	feasible := true
+	for i := range slots {
+		start := cursor
+		if r := ord[i].Release; r > start {
+			start = r
+		}
+		slots[i].Start = start
+		slots[i].End = start + ord[i].Exec
+		cursor = slots[i].End
+		if slots[i].End > ord[i].Deadline {
+			feasible = false
+		}
+	}
+	return slots, feasible, nil
+}
+
+// FCFSPolicy issues strictly in arrival order and does not promote row
+// operations — the naive SPU against which the paper's heuristic is
+// measured.
+type FCFSPolicy struct{}
+
+// Name implements bankctl.Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// PromoteRowOps implements bankctl.Policy.
+func (FCFSPolicy) PromoteRowOps() bool { return false }
+
+// Pick implements bankctl.Policy: strictly the oldest.
+func (FCFSPolicy) Pick(c []bankctl.Candidate) int { return 0 }
+
+// EDFPolicy treats each vector request's arrival plus its remaining
+// element count as an implicit deadline (the earliest possible finish)
+// and issues the most urgent first.
+type EDFPolicy struct{}
+
+// Name implements bankctl.Policy.
+func (EDFPolicy) Name() string { return "edf" }
+
+// PromoteRowOps implements bankctl.Policy.
+func (EDFPolicy) PromoteRowOps() bool { return true }
+
+// Pick implements bankctl.Policy.
+func (EDFPolicy) Pick(cands []bankctl.Candidate) int {
+	best := 0
+	bestDL := cands[0].EnqueuedAt + uint64(cands[0].Remaining)
+	for i, c := range cands[1:] {
+		if dl := c.EnqueuedAt + uint64(c.Remaining); dl < bestDL {
+			bestDL = dl
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// ShortestJobPolicy issues the request with the fewest remaining
+// elements first.
+type ShortestJobPolicy struct{}
+
+// Name implements bankctl.Policy.
+func (ShortestJobPolicy) Name() string { return "shortest-job" }
+
+// PromoteRowOps implements bankctl.Policy.
+func (ShortestJobPolicy) PromoteRowOps() bool { return true }
+
+// Pick implements bankctl.Policy.
+func (ShortestJobPolicy) Pick(cands []bankctl.Candidate) int {
+	best := 0
+	for i, c := range cands[1:] {
+		if c.Remaining < cands[best].Remaining {
+			best = i + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"pva/internal/bankctl"
+)
+
+func TestEDFSimple(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 10, Exec: 3},
+		{ID: 2, Release: 0, Deadline: 5, Exec: 2},
+		{ID: 3, Release: 0, Deadline: 20, Exec: 4},
+	}
+	slots, ok, err := EDF(tasks)
+	if err != nil || !ok {
+		t.Fatalf("EDF infeasible: %v %v", ok, err)
+	}
+	// Execution order must be by deadline: 2, 1, 3, compacted to 0.
+	if slots[0].ID != 2 || slots[0].Start != 0 || slots[0].End != 2 {
+		t.Errorf("slot 0 = %+v", slots[0])
+	}
+	if slots[1].ID != 1 || slots[1].Start != 2 {
+		t.Errorf("slot 1 = %+v", slots[1])
+	}
+	if slots[2].ID != 3 || slots[2].Start != 5 {
+		t.Errorf("slot 2 = %+v", slots[2])
+	}
+}
+
+func TestEDFRespectsReleases(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 4, Deadline: 10, Exec: 2},
+		{ID: 2, Release: 0, Deadline: 20, Exec: 3},
+	}
+	slots, ok, err := EDF(tasks)
+	if err != nil || !ok {
+		t.Fatalf("infeasible: %v %v", ok, err)
+	}
+	if slots[0].ID != 1 || slots[0].Start != 4 {
+		t.Errorf("task 1 started at %d, release is 4", slots[0].Start)
+	}
+	if slots[1].Start != 6 {
+		t.Errorf("task 2 started at %d, want 6 (right after task 1)", slots[1].Start)
+	}
+}
+
+func TestEDFDetectsOverload(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 4, Exec: 3},
+		{ID: 2, Release: 0, Deadline: 5, Exec: 3},
+	}
+	_, ok, err := EDF(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("overloaded task set reported feasible")
+	}
+}
+
+func TestEDFValidation(t *testing.T) {
+	if _, _, err := EDF([]Task{{ID: 1, Exec: 0, Deadline: 5}}); err == nil {
+		t.Error("zero exec accepted")
+	}
+	if _, _, err := EDF([]Task{{ID: 1, Release: 5, Exec: 3, Deadline: 6}}); err == nil {
+		t.Error("impossible single task accepted")
+	}
+	if slots, ok, err := EDF(nil); err != nil || !ok || len(slots) != 0 {
+		t.Error("empty set should be trivially feasible")
+	}
+}
+
+func TestEDFNoOverlap(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 100, Exec: 7},
+		{ID: 2, Release: 3, Deadline: 40, Exec: 5},
+		{ID: 3, Release: 0, Deadline: 25, Exec: 6},
+		{ID: 4, Release: 10, Deadline: 90, Exec: 2},
+	}
+	slots, ok, err := EDF(tasks)
+	if err != nil || !ok {
+		t.Fatalf("infeasible: %v %v", ok, err)
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i].Start < slots[i-1].End {
+			t.Fatalf("slots overlap: %+v then %+v", slots[i-1], slots[i])
+		}
+	}
+}
+
+func TestPolicyPicks(t *testing.T) {
+	cands := []bankctl.Candidate{
+		{Age: 0, Remaining: 10, EnqueuedAt: 100},
+		{Age: 1, Remaining: 2, EnqueuedAt: 105},
+		{Age: 2, Remaining: 5, EnqueuedAt: 90},
+	}
+	if got := (FCFSPolicy{}).Pick(cands); got != 0 {
+		t.Errorf("FCFS picked %d", got)
+	}
+	// EDF: deadlines 110, 107, 95 -> index 2.
+	if got := (EDFPolicy{}).Pick(cands); got != 2 {
+		t.Errorf("EDF picked %d", got)
+	}
+	if got := (ShortestJobPolicy{}).Pick(cands); got != 1 {
+		t.Errorf("shortest-job picked %d", got)
+	}
+}
+
+func TestPolicyMetadata(t *testing.T) {
+	if (FCFSPolicy{}).PromoteRowOps() {
+		t.Error("FCFS must not promote row ops")
+	}
+	if !(EDFPolicy{}).PromoteRowOps() || !(ShortestJobPolicy{}).PromoteRowOps() {
+		t.Error("EDF/shortest-job should promote row ops")
+	}
+	for _, p := range []bankctl.Policy{FCFSPolicy{}, EDFPolicy{}, ShortestJobPolicy{}} {
+		if p.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}

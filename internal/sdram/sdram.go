@@ -1,0 +1,397 @@
+// Package sdram is a cycle-level model of the synchronous DRAM devices
+// the PVA prototype drives: Micron 256 Mbit parts paired into a
+// 32-bit-wide external bank with four internal banks, 2 KB rows, and the
+// paper's latencies (RAS-to-CAS, CAS, and precharge of two cycles each;
+// Section 6.1).
+//
+// The model is deliberately strict: Issue returns an error for any
+// command that violates the device's state machine or timing
+// constraints. The bank controller's restimers exist precisely to make
+// such violations impossible, and the test suite injects illegal
+// sequences to prove the checker catches them.
+//
+// One word moves per READ/WRITE (the external bank is one word wide);
+// column accesses pipeline, so an open row streams one word per cycle.
+// Read data appears CL cycles after the READ command, modeled by a short
+// output pipeline drained by Tick.
+package sdram
+
+import (
+	"fmt"
+
+	"pva/internal/addr"
+	"pva/internal/memsys"
+)
+
+// Timing holds the device timing parameters in controller cycles.
+type Timing struct {
+	TRCD uint64 // ACTIVATE to READ/WRITE delay ("RAS latency")
+	CL   uint64 // READ command to data out ("CAS latency")
+	TRP  uint64 // PRECHARGE to ACTIVATE delay
+
+	// RefreshInterval is the average spacing of the AUTO REFRESH
+	// commands the device needs (the per-row share of the 64 ms refresh
+	// obligation of Section 2.2). Zero disables refresh, matching the
+	// paper's evaluation, which ignores it.
+	RefreshInterval uint64
+	// TRFC is the refresh cycle time: all banks must be precharged, and
+	// the device is unavailable for this long after a Refresh command.
+	TRFC uint64
+}
+
+// MaxPostponedRefreshes is how many refresh obligations a controller may
+// defer before the strict checker treats the device as starved (JEDEC
+// SDRAM allows postponing a bounded burst; eight is the customary bound).
+const MaxPostponedRefreshes = 8
+
+// PaperTiming is the prototype's timing: RAS and CAS latencies of two
+// cycles, precharge of two cycles.
+func PaperTiming() Timing { return Timing{TRCD: 2, CL: 2, TRP: 2} }
+
+// SRAMTiming models the idealized SRAM comparison device of Section 6.1:
+// "this system incurs no precharge or RAS latencies: all memory accesses
+// take a single cycle." Use NewStatic to build such a device; it rejects
+// row commands and accepts column accesses unconditionally.
+func SRAMTiming() Timing { return Timing{TRCD: 0, CL: 1, TRP: 0} }
+
+// Cmd is an SDRAM command.
+type Cmd uint8
+
+const (
+	// Nop does nothing this cycle.
+	Nop Cmd = iota
+	// Activate opens a row in an internal bank.
+	Activate
+	// Read reads one word from the open row.
+	Read
+	// Write writes one word to the open row.
+	Write
+	// Precharge closes an internal bank's row.
+	Precharge
+	// Refresh performs one AUTO REFRESH: all internal banks must be
+	// precharged, and the whole device is busy for TRFC.
+	Refresh
+)
+
+// String implements fmt.Stringer.
+func (c Cmd) String() string {
+	switch c {
+	case Nop:
+		return "NOP"
+	case Activate:
+		return "ACT"
+	case Read:
+		return "RD"
+	case Write:
+		return "WR"
+	case Precharge:
+		return "PRE"
+	case Refresh:
+		return "REF"
+	default:
+		return fmt.Sprintf("CMD(%d)", uint8(c))
+	}
+}
+
+// Request is one command presented to the device at the current cycle.
+type Request struct {
+	Cmd   Cmd
+	IBank uint32 // internal bank
+	Row   uint32 // for Activate
+	Col   uint32 // for Read/Write
+	Auto  bool   // auto-precharge rider on Read/Write
+	Data  uint32 // for Write
+	Tag   uint64 // caller cookie returned with read data
+}
+
+// ReadResult is one word of read data leaving the device.
+type ReadResult struct {
+	Data uint32
+	Tag  uint64
+}
+
+// bankState is the internal-bank state machine.
+type bankState uint8
+
+const (
+	idle   bankState = iota // precharged
+	active                  // row open
+)
+
+type ibank struct {
+	state   bankState
+	row     uint32
+	readyAt uint64 // cycle at which the current transition completes
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Activates  uint64
+	Precharges uint64
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64 // reads+writes issued to a row opened by an earlier access
+	Refreshes  uint64
+}
+
+// Device is one external bank: a 32-bit wide SDRAM with internal banks.
+type Device struct {
+	geom   addr.SDRAMGeom
+	timing Timing
+	banks  []ibank
+	store  *memsys.Store
+	base   uint32 // this device's external bank number, for store addressing
+	stride uint32 // external bank count (word interleave step)
+
+	static bool // SRAM mode: no rows, single-cycle access
+
+	cycle     uint64
+	lastIssue uint64 // cycle of last non-NOP command (one command pin set per cycle)
+	issued    bool
+
+	pipe  []pipeEntry // CL-deep read-out pipeline
+	stats Stats
+
+	refreshDebt int64  // refresh obligations accrued minus performed
+	nextRefresh uint64 // cycle at which the next obligation accrues
+
+	// firstAccess tracks whether each bank's open row has already been
+	// accessed, for RowHits accounting.
+	accessed []bool
+}
+
+type pipeEntry struct {
+	at  uint64
+	res ReadResult
+}
+
+// New returns a device for external bank number bank of an M-bank
+// word-interleaved system, backed by the given store. The device owns
+// word addresses a with a mod M == bank, stored at per-bank index a / M.
+func New(geom addr.SDRAMGeom, t Timing, store *memsys.Store, bank, banks uint32) *Device {
+	return &Device{
+		geom:        geom,
+		timing:      t,
+		banks:       make([]ibank, geom.InternalBanks),
+		accessed:    make([]bool, geom.InternalBanks),
+		store:       store,
+		base:        bank,
+		stride:      banks,
+		nextRefresh: t.RefreshInterval,
+	}
+}
+
+// RefreshDue reports whether at least one refresh obligation is
+// outstanding. Controllers should precharge all banks and issue a
+// Refresh command before the debt reaches MaxPostponedRefreshes.
+func (d *Device) RefreshDue() bool { return d.refreshDebt > 0 }
+
+// RefreshDebt returns the outstanding refresh obligations (may be
+// negative when refreshes were pulled in early).
+func (d *Device) RefreshDebt() int64 { return d.refreshDebt }
+
+// NewStatic returns the idealized SRAM comparison device (Section 6.1):
+// same geometry and addressing, but rows do not exist — column accesses
+// are always legal and Activate/Precharge are rejected. CL is taken from
+// SRAMTiming (one cycle).
+func NewStatic(geom addr.SDRAMGeom, store *memsys.Store, bank, banks uint32) *Device {
+	d := New(geom, SRAMTiming(), store, bank, banks)
+	d.static = true
+	return d
+}
+
+// Static reports whether this is the rowless SRAM variant.
+func (d *Device) Static() bool { return d.static }
+
+// Geom returns the device geometry.
+func (d *Device) Geom() addr.SDRAMGeom { return d.geom }
+
+// Timing returns the device timing.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Cycle returns the device's current cycle number.
+func (d *Device) Cycle() uint64 { return d.cycle }
+
+// OpenRow reports whether the internal bank has an open row and which.
+func (d *Device) OpenRow(ib uint32) (uint32, bool) {
+	b := &d.banks[ib]
+	if b.state != active {
+		return 0, false
+	}
+	return b.row, true
+}
+
+// BankReadyAt returns the cycle at which the internal bank's pending
+// transition completes; the bank accepts row commands (and, when active,
+// column commands) at cycles >= this value. This is what the controller's
+// restimers track.
+func (d *Device) BankReadyAt(ib uint32) uint64 { return d.banks[ib].readyAt }
+
+// wordAddr converts device coordinates back to the global word address.
+func (d *Device) wordAddr(c addr.Coord) uint32 {
+	return d.geom.Compose(c)*d.stride + d.base
+}
+
+// Issue presents one command for the current cycle. At most one non-NOP
+// command may be issued per cycle; violations of the state machine or of
+// timing return an error and leave the device unchanged.
+func (d *Device) Issue(r Request) error {
+	if r.Cmd == Nop {
+		return nil
+	}
+	if d.issued {
+		return fmt.Errorf("sdram: second command %v in cycle %d", r.Cmd, d.cycle)
+	}
+	if r.IBank >= uint32(len(d.banks)) {
+		return fmt.Errorf("sdram: internal bank %d out of range", r.IBank)
+	}
+	if d.static {
+		return d.issueStatic(r)
+	}
+	if r.Cmd != Refresh && d.timing.RefreshInterval > 0 && d.refreshDebt > MaxPostponedRefreshes {
+		return fmt.Errorf("sdram: refresh starved at cycle %d (debt %d)", d.cycle, d.refreshDebt)
+	}
+	if r.Cmd == Refresh {
+		for i := range d.banks {
+			if d.banks[i].state != idle {
+				return fmt.Errorf("sdram: REF with internal bank %d open at cycle %d", i, d.cycle)
+			}
+			if d.cycle < d.banks[i].readyAt {
+				return fmt.Errorf("sdram: REF during precharge of internal bank %d at cycle %d", i, d.cycle)
+			}
+		}
+		for i := range d.banks {
+			d.banks[i].readyAt = d.cycle + d.timing.TRFC
+		}
+		if d.refreshDebt > -MaxPostponedRefreshes {
+			d.refreshDebt--
+		}
+		d.stats.Refreshes++
+		d.issued = true
+		d.lastIssue = d.cycle
+		return nil
+	}
+	b := &d.banks[r.IBank]
+	switch r.Cmd {
+	case Activate:
+		if b.state != idle {
+			return fmt.Errorf("sdram: ACT to open internal bank %d (row %d open) at cycle %d", r.IBank, b.row, d.cycle)
+		}
+		if d.cycle < b.readyAt {
+			return fmt.Errorf("sdram: ACT to internal bank %d during precharge (tRP) at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
+		}
+		if r.Row >= d.geom.Rows {
+			return fmt.Errorf("sdram: row %d out of range", r.Row)
+		}
+		b.state = active
+		b.row = r.Row
+		b.readyAt = d.cycle + d.timing.TRCD
+		d.accessed[r.IBank] = false
+		d.stats.Activates++
+	case Read, Write:
+		if b.state != active {
+			return fmt.Errorf("sdram: %v to precharged internal bank %d at cycle %d", r.Cmd, r.IBank, d.cycle)
+		}
+		if d.cycle < b.readyAt {
+			return fmt.Errorf("sdram: %v to internal bank %d before tRCD at cycle %d < %d", r.Cmd, r.IBank, d.cycle, b.readyAt)
+		}
+		if r.Col >= d.geom.RowWords {
+			return fmt.Errorf("sdram: column %d out of range", r.Col)
+		}
+		if r.Row != b.row {
+			// The real device would silently access the open row; the
+			// simulator treats a mismatched scheduler intent as a bug.
+			return fmt.Errorf("sdram: %v intends row %d but internal bank %d has row %d open", r.Cmd, r.Row, r.IBank, b.row)
+		}
+		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: b.row, Col: r.Col})
+		if r.Cmd == Read {
+			d.pipe = append(d.pipe, pipeEntry{
+				at:  d.cycle + d.timing.CL,
+				res: ReadResult{Data: d.store.Read(a), Tag: r.Tag},
+			})
+			d.stats.Reads++
+		} else {
+			d.store.Write(a, r.Data)
+			d.stats.Writes++
+		}
+		if d.accessed[r.IBank] {
+			d.stats.RowHits++
+		}
+		d.accessed[r.IBank] = true
+		if r.Auto {
+			b.state = idle
+			b.readyAt = d.cycle + d.timing.TRP
+			d.stats.Precharges++
+		}
+	case Precharge:
+		if b.state != active {
+			return fmt.Errorf("sdram: PRE to precharged internal bank %d at cycle %d", r.IBank, d.cycle)
+		}
+		if d.cycle < b.readyAt {
+			return fmt.Errorf("sdram: PRE to internal bank %d before tRCD at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
+		}
+		b.state = idle
+		b.readyAt = d.cycle + d.timing.TRP
+		d.stats.Precharges++
+	default:
+		return fmt.Errorf("sdram: unknown command %d", uint8(r.Cmd))
+	}
+	d.issued = true
+	d.lastIssue = d.cycle
+	return nil
+}
+
+// issueStatic handles commands in SRAM mode: column accesses always
+// legal, row commands rejected.
+func (d *Device) issueStatic(r Request) error {
+	switch r.Cmd {
+	case Read, Write:
+		if r.Col >= d.geom.RowWords || r.Row >= d.geom.Rows {
+			return fmt.Errorf("sdram: static access out of range (row %d col %d)", r.Row, r.Col)
+		}
+		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: r.Row, Col: r.Col})
+		if r.Cmd == Read {
+			d.pipe = append(d.pipe, pipeEntry{
+				at:  d.cycle + d.timing.CL,
+				res: ReadResult{Data: d.store.Read(a), Tag: r.Tag},
+			})
+			d.stats.Reads++
+		} else {
+			d.store.Write(a, r.Data)
+			d.stats.Writes++
+		}
+	default:
+		return fmt.Errorf("sdram: %v illegal on static (SRAM) device", r.Cmd)
+	}
+	d.issued = true
+	d.lastIssue = d.cycle
+	return nil
+}
+
+// Tick ends the current cycle: it returns any read data whose CAS
+// latency matured this cycle (a READ issued at cycle c delivers at cycle
+// c+CL), then advances the clock. Call exactly once per controller
+// cycle, after Issue.
+func (d *Device) Tick() []ReadResult {
+	var out []ReadResult
+	n := 0
+	for _, e := range d.pipe {
+		if e.at <= d.cycle {
+			out = append(out, e.res)
+		} else {
+			d.pipe[n] = e
+			n++
+		}
+	}
+	d.pipe = d.pipe[:n]
+	d.cycle++
+	d.issued = false
+	if d.timing.RefreshInterval > 0 && d.cycle >= d.nextRefresh {
+		d.refreshDebt++
+		d.nextRefresh += d.timing.RefreshInterval
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package shadow models the Impulse-style shadow address spaces of
+// Section 3.2: a region of unused physical address space that the
+// memory controller remaps, through an extra translation step, onto a
+// *strided view* of real memory. A processor that walks the shadow
+// region with ordinary unit-stride cache-line fills causes the
+// controller to gather the strided data into dense lines — which is
+// exactly how the PVA unit learns about application vectors without ISA
+// changes: "when the processor accesses data in the shadow space, the
+// memory controller does scatter/gather accesses from the real memory
+// region that backs the shadow address region and compacts the strided
+// data into dense cache lines."
+package shadow
+
+import (
+	"fmt"
+	"sort"
+
+	"pva/internal/core"
+	"pva/internal/memsys"
+)
+
+// Mapping is one shadow region: ShadowBase..ShadowBase+Length-1 (dense
+// shadow words) view real memory at Base, Base+Stride, Base+2*Stride...
+type Mapping struct {
+	ShadowBase uint32 // start of the dense shadow region (word address)
+	Length     uint32 // shadow region length in words
+	Base       uint32 // real base address of element 0
+	Stride     uint32 // real element spacing in words
+}
+
+// Space is the controller's table of configured shadow regions, set up
+// "either directly by the programmer or by a smart compiler".
+type Space struct {
+	maps []Mapping // sorted by ShadowBase
+}
+
+// New validates the mappings (disjoint shadow regions, positive sizes).
+func New(maps []Mapping) (*Space, error) {
+	sorted := make([]Mapping, len(maps))
+	copy(sorted, maps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ShadowBase < sorted[j].ShadowBase })
+	for i, m := range sorted {
+		if m.Length == 0 {
+			return nil, fmt.Errorf("shadow: mapping %d has zero length", i)
+		}
+		if i > 0 {
+			prev := sorted[i-1]
+			if prev.ShadowBase+prev.Length > m.ShadowBase {
+				return nil, fmt.Errorf("shadow: regions %+v and %+v overlap", prev, m)
+			}
+		}
+	}
+	return &Space{maps: sorted}, nil
+}
+
+// MustNew is New for known-good tables.
+func MustNew(maps []Mapping) *Space {
+	s, err := New(maps)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Translate maps one shadow word address to its real address.
+func (s *Space) Translate(shadowAddr uint32) (uint32, bool) {
+	m, off, ok := s.lookup(shadowAddr)
+	if !ok {
+		return 0, false
+	}
+	return m.Base + off*m.Stride, true
+}
+
+func (s *Space) lookup(a uint32) (Mapping, uint32, bool) {
+	i := sort.Search(len(s.maps), func(i int) bool { return s.maps[i].ShadowBase > a })
+	if i == 0 {
+		return Mapping{}, 0, false
+	}
+	m := s.maps[i-1]
+	if a >= m.ShadowBase+m.Length {
+		return Mapping{}, 0, false
+	}
+	return m, a - m.ShadowBase, true
+}
+
+// LineFill translates a dense cache-line fill in shadow space (lineWords
+// words starting at shadowAddr, which must lie inside one region) into
+// the base-stride vector command the PVA executes against real memory.
+// This is the remapping step that turns an ordinary L2 miss into a
+// gather.
+func (s *Space) LineFill(shadowAddr, lineWords uint32) (core.Vector, error) {
+	m, off, ok := s.lookup(shadowAddr)
+	if !ok {
+		return core.Vector{}, fmt.Errorf("shadow: address %d not mapped", shadowAddr)
+	}
+	n := lineWords
+	if off+n > m.Length {
+		n = m.Length - off
+	}
+	return core.Vector{Base: m.Base + off*m.Stride, Stride: m.Stride, Length: n}, nil
+}
+
+// FillTrace expands a dense walk of an entire shadow region into the
+// vector-command trace the controller would see from the cache: one
+// gather per lineWords-sized line.
+func (s *Space) FillTrace(m Mapping, lineWords uint32) (memsys.Trace, error) {
+	if lineWords == 0 {
+		return memsys.Trace{}, fmt.Errorf("shadow: zero line length")
+	}
+	var cmds []memsys.VectorCmd
+	for off := uint32(0); off < m.Length; off += lineWords {
+		v, err := s.LineFill(m.ShadowBase+off, lineWords)
+		if err != nil {
+			return memsys.Trace{}, err
+		}
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: v})
+	}
+	return memsys.Trace{Cmds: cmds}, nil
+}
+
+// Gather runs the dense walk of a shadow region on a memory system and
+// returns the compacted data, exactly as the processor would observe it
+// in its dense shadow lines.
+func (s *Space) Gather(sys memsys.System, m Mapping, lineWords uint32) ([]uint32, memsys.Result, error) {
+	trace, err := s.FillTrace(m, lineWords)
+	if err != nil {
+		return nil, memsys.Result{}, err
+	}
+	res, err := sys.Run(trace)
+	if err != nil {
+		return nil, memsys.Result{}, err
+	}
+	out := make([]uint32, 0, m.Length)
+	for i := range trace.Cmds {
+		out = append(out, res.ReadData[i]...)
+	}
+	return out, res, nil
+}

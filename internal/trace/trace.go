@@ -1,0 +1,139 @@
+// Package trace defines the event stream the cycle-level models emit
+// for observability: every SDRAM command, bus tenure and staging event,
+// timestamped. Recorders drive the pvatrace timeline tool and the
+// invariant checks in the test suite (issue order within a subvector,
+// the polarity rule's turnaround gaps, row legality).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// Broadcast: a VEC_READ/VEC_WRITE seen by the bank controllers.
+	Broadcast Kind = iota
+	// Activate: SDRAM row open.
+	Activate
+	// Precharge: SDRAM row close (explicit).
+	Precharge
+	// ReadCmd: SDRAM column read.
+	ReadCmd
+	// WriteCmd: SDRAM column write.
+	WriteCmd
+	// StageRead: a gathered line burst back to the controller.
+	StageRead
+	// StageWrite: a dense line delivered to the staging units.
+	StageWrite
+	// TxnComplete: a transaction-complete line deasserted fully.
+	TxnComplete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Broadcast:
+		return "BCAST"
+	case Activate:
+		return "ACT"
+	case Precharge:
+		return "PRE"
+	case ReadCmd:
+		return "RD"
+	case WriteCmd:
+		return "WR"
+	case StageRead:
+		return "STG_RD"
+	case StageWrite:
+		return "STG_WR"
+	case TxnComplete:
+		return "DONE"
+	default:
+		return fmt.Sprintf("EV(%d)", uint8(k))
+	}
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	Cycle uint64
+	Bank  int // external bank; -1 for bus-level events
+	Kind  Kind
+	Txn   int
+	IBank uint32 // internal bank for SDRAM commands
+	Row   uint32
+	Col   uint32
+	Auto  bool // auto-precharge rider on RD/WR
+	Elem  uint32
+}
+
+// Observer consumes events. A nil Observer disables tracing with no
+// overhead beyond a nil check.
+type Observer func(Event)
+
+// Log is the standard in-memory recorder.
+type Log struct {
+	Events []Event
+}
+
+// Record implements Observer when bound as method value.
+func (l *Log) Record(e Event) { l.Events = append(l.Events, e) }
+
+// Sorted returns the events ordered by cycle, then bank.
+func (l *Log) Sorted() []Event {
+	out := make([]Event, len(l.Events))
+	copy(out, l.Events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Bank < out[j].Bank
+	})
+	return out
+}
+
+// ByBank returns bank b's events in emission order.
+func (l *Log) ByBank(b int) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Bank == b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind filters events of one kind in emission order.
+func (l *Log) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable timeline.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Sorted() {
+		switch e.Kind {
+		case Broadcast, StageRead, StageWrite, TxnComplete:
+			fmt.Fprintf(w, "%8d  bus     %-7s txn=%d\n", e.Cycle, e.Kind, e.Txn)
+		case Activate:
+			fmt.Fprintf(w, "%8d  bank%-3d %-7s ib=%d row=%d\n", e.Cycle, e.Bank, e.Kind, e.IBank, e.Row)
+		case Precharge:
+			fmt.Fprintf(w, "%8d  bank%-3d %-7s ib=%d\n", e.Cycle, e.Bank, e.Kind, e.IBank)
+		default:
+			auto := ""
+			if e.Auto {
+				auto = "+AP"
+			}
+			fmt.Fprintf(w, "%8d  bank%-3d %-7s ib=%d row=%d col=%d txn=%d elem=%d%s\n",
+				e.Cycle, e.Bank, e.Kind, e.IBank, e.Row, e.Col, e.Txn, e.Elem, auto)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Log {
+	l := &Log{}
+	l.Record(Event{Cycle: 5, Bank: 2, Kind: ReadCmd, Txn: 1, IBank: 0, Row: 3, Col: 7, Elem: 4})
+	l.Record(Event{Cycle: 1, Bank: -1, Kind: Broadcast, Txn: 1})
+	l.Record(Event{Cycle: 5, Bank: 0, Kind: Activate, Txn: 1, IBank: 1, Row: 9})
+	l.Record(Event{Cycle: 3, Bank: 2, Kind: Precharge, Txn: 1, IBank: 0})
+	l.Record(Event{Cycle: 9, Bank: -1, Kind: TxnComplete, Txn: 1})
+	return l
+}
+
+func TestSortedOrdersByCycleThenBank(t *testing.T) {
+	s := sample().Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i].Cycle < s[i-1].Cycle {
+			t.Fatalf("cycle order broken at %d", i)
+		}
+		if s[i].Cycle == s[i-1].Cycle && s[i].Bank < s[i-1].Bank {
+			t.Fatalf("bank tiebreak broken at %d", i)
+		}
+	}
+	if s[0].Kind != Broadcast || s[len(s)-1].Kind != TxnComplete {
+		t.Fatalf("endpoints wrong: %v ... %v", s[0].Kind, s[len(s)-1].Kind)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	l := sample()
+	if got := l.ByBank(2); len(got) != 2 {
+		t.Errorf("ByBank(2) = %d events", len(got))
+	}
+	if got := l.ByKind(ReadCmd); len(got) != 1 || got[0].Elem != 4 {
+		t.Errorf("ByKind(ReadCmd) = %+v", got)
+	}
+	if got := l.ByBank(7); len(got) != 0 {
+		t.Errorf("ByBank(7) = %d events", len(got))
+	}
+}
+
+func TestDump(t *testing.T) {
+	var buf bytes.Buffer
+	sample().Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"BCAST", "ACT", "PRE", "RD", "DONE", "bank2", "bus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Broadcast, Activate, Precharge, ReadCmd, WriteCmd, StageRead, StageWrite, TxnComplete}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestNilObserverPattern(t *testing.T) {
+	var obs Observer
+	if obs != nil {
+		t.Fatal("zero Observer should be nil")
+	}
+	// The emit sites guard with a nil check; calling a bound method
+	// value must record.
+	l := &Log{}
+	obs = l.Record
+	obs(Event{Cycle: 1})
+	if len(l.Events) != 1 {
+		t.Fatal("bound observer did not record")
+	}
+}

@@ -1,0 +1,143 @@
+// Package vcmd implements the vector command front end's interaction
+// with the paging scheme (Section 4.3.2): a superpage TLB model and the
+// SplitVector algorithm that breaks a long virtual-space vector into
+// physical-space vector bus operations, each guaranteed to lie within a
+// single superpage.
+//
+// The paper's key point is that the exact element count per page needs a
+// division (distance to the page boundary divided by the stride), which
+// is too slow; instead the memory controller issues a fast *lower bound*
+// computed with a complement, an add and a shift, and overlaps the
+// remaining bookkeeping (multiply, next TLB lookup) with the memory
+// operation it just issued.
+package vcmd
+
+import (
+	"fmt"
+	"sort"
+
+	"pva/internal/core"
+)
+
+// Mapping is one superpage: Words must be a power of two, and both
+// bases must be Words-aligned (superpages are naturally aligned).
+type Mapping struct {
+	VBase uint32 // virtual word address of the page start
+	PBase uint32 // physical word address of the page start
+	Words uint32 // page size in words (power of two)
+}
+
+// TLB is the memory controller's view of the page table: a set of
+// disjoint superpage mappings.
+type TLB struct {
+	maps []Mapping // sorted by VBase
+	// Lookups counts mmc_tlb_lookup calls, the quantity SplitVector
+	// tries to minimize by issuing few, large subvectors.
+	Lookups int
+}
+
+// NewTLB validates and indexes the mappings.
+func NewTLB(maps []Mapping) (*TLB, error) {
+	sorted := make([]Mapping, len(maps))
+	copy(sorted, maps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].VBase < sorted[j].VBase })
+	for i, m := range sorted {
+		if m.Words == 0 || m.Words&(m.Words-1) != 0 {
+			return nil, fmt.Errorf("vcmd: page size %d not a power of two", m.Words)
+		}
+		if m.VBase%m.Words != 0 || m.PBase%m.Words != 0 {
+			return nil, fmt.Errorf("vcmd: mapping %+v not naturally aligned", m)
+		}
+		if i > 0 {
+			prev := sorted[i-1]
+			if prev.VBase+prev.Words > m.VBase {
+				return nil, fmt.Errorf("vcmd: mappings %+v and %+v overlap", prev, m)
+			}
+		}
+	}
+	return &TLB{maps: sorted}, nil
+}
+
+// MustNewTLB is NewTLB for known-good tables.
+func MustNewTLB(maps []Mapping) *TLB {
+	t, err := NewTLB(maps)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Lookup is mmc_tlb_lookup: it returns the physical address for vaddr
+// and the size of the superpage containing it.
+func (t *TLB) Lookup(vaddr uint32) (paddr, pageWords uint32, ok bool) {
+	t.Lookups++
+	i := sort.Search(len(t.maps), func(i int) bool { return t.maps[i].VBase > vaddr })
+	if i == 0 {
+		return 0, 0, false
+	}
+	m := t.maps[i-1]
+	if vaddr >= m.VBase+m.Words {
+		return 0, 0, false
+	}
+	return m.PBase + (vaddr - m.VBase), m.Words, true
+}
+
+// ceilLog2 returns the smallest k with 2^k >= x (x >= 1).
+func ceilLog2(x uint32) uint {
+	var k uint
+	for uint32(1)<<k < x {
+		k++
+	}
+	return k
+}
+
+// SplitVector implements the Section 4.3.2 algorithm: it walks the
+// virtual vector, and for each superpage issues one physical subvector
+// covering a division-free lower bound of the elements that fit:
+//
+//	lower_bound = ((page_size - terminate(phys) - 1) >> shift_val) + 1
+//
+// where terminate() keeps the page-offset bits and shift_val is the
+// exponent of the smallest power of two >= stride (the paper's listing
+// says "index of most significant power of 2 in V.S", which over-counts
+// for non-power-of-two strides and would spill past the page; rounding
+// the shift up restores the lower-bound property the prose requires).
+// The returned subvectors are in physical space and each lies within a
+// single superpage.
+func SplitVector(t *TLB, v core.Vector) ([]core.Vector, error) {
+	if v.Stride == 0 {
+		return nil, fmt.Errorf("vcmd: SplitVector requires a positive stride")
+	}
+	shift := ceilLog2(v.Stride)
+	var out []core.Vector
+	base, length := v.Base, v.Length
+	for length > 0 {
+		phys, pageWords, ok := t.Lookup(base)
+		if !ok {
+			return nil, fmt.Errorf("vcmd: no mapping for virtual word address %d", base)
+		}
+		offset := phys & (pageWords - 1) // terminate(phys_address)
+		lower := (pageWords-offset-1)>>shift + 1
+		if lower > length {
+			lower = length
+		}
+		out = append(out, core.Vector{Base: phys, Stride: v.Stride, Length: lower})
+		// "While banks are busy operating on the vector we issued,
+		// compute new base address": the multiply below overlaps the
+		// issued operation in hardware.
+		length -= lower
+		base += v.Stride * lower
+	}
+	return out, nil
+}
+
+// Identity returns a TLB that identity-maps [0, words) with the given
+// superpage size — the common testing/benchmark configuration where all
+// application vectors live in already-created superpages.
+func Identity(words, pageWords uint32) *TLB {
+	var maps []Mapping
+	for b := uint32(0); b < words; b += pageWords {
+		maps = append(maps, Mapping{VBase: b, PBase: b, Words: pageWords})
+	}
+	return MustNewTLB(maps)
+}

@@ -1,0 +1,128 @@
+package pva
+
+import "testing"
+
+// TestDeterminism: the simulator is a pure function of its inputs —
+// repeated runs of the same trace on fresh systems agree cycle for
+// cycle and word for word.
+func TestDeterminism(t *testing.T) {
+	k, _ := KernelByName("vaxpy")
+	trace := k.Build(PaperParams(19, 3))
+	var first Result
+	for i := 0; i < 3; i++ {
+		sys, err := NewSystem(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Cycles != first.Cycles {
+			t.Fatalf("run %d: %d cycles vs %d", i, res.Cycles, first.Cycles)
+		}
+		for j := range first.ReadData {
+			for w := range first.ReadData[j] {
+				if res.ReadData[j][w] != first.ReadData[j][w] {
+					t.Fatalf("run %d: data diverged at cmd %d word %d", i, j, w)
+				}
+			}
+		}
+	}
+}
+
+// TestLinearScaling: doubling the vector length roughly doubles the
+// steady-state execution time on every system (the pipelines have
+// constant fill/drain overhead, so the ratio must sit in (1.5, 2.5)).
+func TestLinearScaling(t *testing.T) {
+	for _, kind := range []SystemKind{PVASDRAM, CacheLineSerial, GatheringSerial, PVASRAM} {
+		pShort := PaperParams(7, 1)
+		pShort.Elements = 512
+		pLong := PaperParams(7, 1)
+		pLong.Elements = 1024
+		short, err := RunKernel(kind, "copy", pShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		long, err := RunKernel(kind, "copy", pLong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(long.Cycles) / float64(short.Cycles)
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%s: 2x elements -> %.2fx cycles (%d -> %d)", kind, ratio, short.Cycles, long.Cycles)
+		}
+	}
+}
+
+// TestStridePeriodicity: strides congruent modulo M produce identical
+// bank traffic shapes; execution time differs only through row locality.
+// Stride 3 and stride 3+16 must be within a few percent on the PVA.
+func TestStridePeriodicity(t *testing.T) {
+	p1 := PaperParams(3, 1)
+	p2 := PaperParams(19, 1) // 19 = 3 + 16
+	a, err := RunKernel(PVASDRAM, "scale", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunKernel(PVASDRAM, "scale", p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.Cycles) / float64(a.Cycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("congruent strides 3 and 19 differ %.2fx (%d vs %d)", ratio, a.Cycles, b.Cycles)
+	}
+}
+
+// TestMoreBanksNeverHurt: growing the bank count (with everything else
+// fixed) must not slow the PVA down on a parallel-friendly stride.
+func TestMoreBanksNeverHurt(t *testing.T) {
+	trace := Trace{Cmds: []VectorCmd{
+		{Op: Read, V: Vector{Base: 0, Stride: 3, Length: 32}},
+		{Op: Read, V: Vector{Base: 4096, Stride: 3, Length: 32}},
+	}}
+	var prev uint64
+	for i, banks := range []uint32{4, 8, 16, 32} {
+		sys, err := NewSystem(Config{Banks: banks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Cycles > prev+4 {
+			t.Errorf("%d banks: %d cycles, worse than %d banks' %d", banks, res.Cycles, banks/2, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// TestTimingMonotonic: slower SDRAM parts (larger tRCD/CL/tRP) can only
+// increase execution time.
+func TestTimingMonotonic(t *testing.T) {
+	k, _ := KernelByName("swap")
+	p := PaperParams(16, 0) // SDRAM-bound
+	p.Elements = 256
+	trace := k.Build(p)
+	var prev uint64
+	for i, lat := range []uint64{1, 2, 4, 8} {
+		sys, err := NewSystem(Config{TRCD: lat, CL: lat, TRP: lat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Cycles < prev {
+			t.Errorf("latency %d: %d cycles, faster than lower-latency %d", lat, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}

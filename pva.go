@@ -1,0 +1,212 @@
+// Package pva is a cycle-level reproduction of "Design of a Parallel
+// Vector Access Unit for SDRAM Memory Systems" (Mathew, McKee, Carter,
+// Davis; HPCA 2000): a memory controller back end that gathers and
+// scatters base-stride vectors by broadcasting vector commands to
+// per-bank controllers, each of which computes its own subvector with
+// the closed-form FirstHit/NextHit mathematics instead of expanding the
+// vector serially.
+//
+// The package exposes four memory systems behind one interface —
+// the PVA SDRAM prototype, an idealized PVA SRAM, a conventional
+// cache-line interleaved serial SDRAM, and a pipelined serial gathering
+// SDRAM — plus the paper's six evaluation kernels, the full experiment
+// harness that regenerates every figure, and the conclusion's
+// vector-indirect and bit-reversal extensions.
+//
+// Quick start:
+//
+//	sys, _ := pva.NewSystem(pva.DefaultConfig())
+//	res, _ := sys.Run(pva.Trace{Cmds: []pva.VectorCmd{{
+//		Op: pva.Read,
+//		V:  pva.Vector{Base: 0, Stride: 19, Length: 32},
+//	}}})
+//	fmt.Println(res.Cycles, res.ReadData[0])
+//
+// Addresses and strides are in 32-bit machine words, as in the paper.
+package pva
+
+import (
+	"fmt"
+
+	"pva/internal/addr"
+	"pva/internal/bankctl"
+	"pva/internal/baseline"
+	"pva/internal/core"
+	"pva/internal/hotrow"
+	"pva/internal/memsys"
+	"pva/internal/pvaunit"
+	"pva/internal/sched"
+	"pva/internal/sdram"
+)
+
+// Vector is a base-stride vector command <Base, Stride, Length>:
+// Length elements at word addresses Base, Base+Stride, Base+2*Stride...
+type Vector = core.Vector
+
+// Re-exported command/trace/result types shared by every memory system.
+type (
+	// VectorCmd is one vector bus operation with its dataflow.
+	VectorCmd = memsys.VectorCmd
+	// Trace is a program-order command sequence.
+	Trace = memsys.Trace
+	// Result reports a run: cycles, gathered lines, statistics.
+	Result = memsys.Result
+	// Stats are the common activity counters.
+	Stats = memsys.Stats
+	// System is the interface all four memory systems implement.
+	System = memsys.System
+	// Op distinguishes reads from writes.
+	Op = memsys.Op
+)
+
+// Read and Write are the two vector operations.
+const (
+	Read  = memsys.Read
+	Write = memsys.Write
+)
+
+// Config selects the PVA memory-system parameters. The zero value of
+// any field falls back to the paper's prototype (Section 5.1).
+type Config struct {
+	Banks     uint32 // word-interleaved banks M (16)
+	LineWords uint32 // cache line length in words (32)
+
+	// SDRAM device geometry and timing.
+	InternalBanks   uint32 // internal banks per device (4)
+	RowWords        uint32 // row length in words (512)
+	Rows            uint32 // rows per internal bank (8192)
+	TRCD            uint64 // activate-to-access latency (2)
+	CL              uint64 // CAS latency (2)
+	TRP             uint64 // precharge latency (2)
+	RefreshInterval uint64 // cycles between refresh obligations (0: off, as the paper assumes)
+	TRFC            uint64 // refresh cycle time (used when RefreshInterval > 0)
+
+	VCWindow  int // vector contexts per bank controller (4)
+	RFEntries int // register-file entries (8)
+
+	// Policy selects the Scheduling Policy Unit: "paper" (default),
+	// "fcfs", "edf", "shortest-job".
+	Policy string
+	// RowPolicy selects row management: "manage-row" (default),
+	// "closed-page", "open-page", "hotrow" (Alpha 21174-style).
+	RowPolicy string
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		Banks: 16, LineWords: 32,
+		InternalBanks: 4, RowWords: 512, Rows: 8192,
+		TRCD: 2, CL: 2, TRP: 2,
+		VCWindow: 4, RFEntries: 8,
+	}
+}
+
+func (c Config) fill() Config {
+	d := DefaultConfig()
+	if c.Banks == 0 {
+		c.Banks = d.Banks
+	}
+	if c.LineWords == 0 {
+		c.LineWords = d.LineWords
+	}
+	if c.InternalBanks == 0 {
+		c.InternalBanks = d.InternalBanks
+	}
+	if c.RowWords == 0 {
+		c.RowWords = d.RowWords
+	}
+	if c.Rows == 0 {
+		c.Rows = d.Rows
+	}
+	if c.TRCD == 0 {
+		c.TRCD = d.TRCD
+	}
+	if c.CL == 0 {
+		c.CL = d.CL
+	}
+	if c.TRP == 0 {
+		c.TRP = d.TRP
+	}
+	if c.VCWindow == 0 {
+		c.VCWindow = d.VCWindow
+	}
+	if c.RFEntries == 0 {
+		c.RFEntries = d.RFEntries
+	}
+	return c
+}
+
+func (c Config) toInternal(static bool) (pvaunit.Config, error) {
+	c = c.fill()
+	sg, err := addr.NewSDRAMGeom(c.InternalBanks, c.RowWords, c.Rows)
+	if err != nil {
+		return pvaunit.Config{}, err
+	}
+	cfg := pvaunit.Config{
+		Banks:     c.Banks,
+		LineWords: c.LineWords,
+		SGeom:     sg,
+		Timing: sdram.Timing{
+			TRCD: c.TRCD, CL: c.CL, TRP: c.TRP,
+			RefreshInterval: c.RefreshInterval, TRFC: c.TRFC,
+		},
+		Static:    static,
+		VCWindow:  c.VCWindow,
+		RFEntries: c.RFEntries,
+	}
+	switch c.Policy {
+	case "", "paper":
+	case "fcfs":
+		cfg.Policy = sched.FCFSPolicy{}
+	case "edf":
+		cfg.Policy = sched.EDFPolicy{}
+	case "shortest-job":
+		cfg.Policy = sched.ShortestJobPolicy{}
+	default:
+		return pvaunit.Config{}, fmt.Errorf("pva: unknown scheduling policy %q", c.Policy)
+	}
+	switch c.RowPolicy {
+	case "", "manage-row":
+	case "closed-page":
+		cfg.RowPolicy = bankctl.ClosedPage{}
+	case "open-page":
+		cfg.RowPolicy = bankctl.OpenPage{}
+	case "hotrow":
+		cfg.RowPolicy = hotrow.NewRowPolicy(c.InternalBanks, hotrow.MajorityPolicy())
+	default:
+		return pvaunit.Config{}, fmt.Errorf("pva: unknown row policy %q", c.RowPolicy)
+	}
+	return cfg, nil
+}
+
+// NewSystem returns the PVA SDRAM memory system.
+func NewSystem(c Config) (System, error) {
+	cfg, err := c.toInternal(false)
+	if err != nil {
+		return nil, err
+	}
+	return pvaunit.New(cfg)
+}
+
+// NewSRAMSystem returns the idealized PVA SRAM comparison system: the
+// same parallel access scheme over single-cycle static memory.
+func NewSRAMSystem(c Config) (System, error) {
+	cfg, err := c.toInternal(true)
+	if err != nil {
+		return nil, err
+	}
+	return pvaunit.New(cfg)
+}
+
+// NewCacheLineSerial returns the conventional cache-line interleaved
+// serial SDRAM baseline (20-cycle line fills, no gathering).
+func NewCacheLineSerial() System { return baseline.NewCacheLineSerial() }
+
+// NewGatheringSerial returns the pipelined serial gathering SDRAM
+// baseline (gathers, but expands vectors one element per cycle).
+func NewGatheringSerial() System { return baseline.NewGatheringSerial() }
+
+// Reference returns the functional (zero-time) executor used to verify
+// the cycle-level systems.
+func Reference() System { return memsys.NewReference() }

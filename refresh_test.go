@@ -1,0 +1,88 @@
+package pva
+
+import "testing"
+
+// TestRefreshEndToEnd runs a kernel with the refresh obligation enabled:
+// the controllers must interleave AUTO REFRESH commands with the vector
+// work, the data must stay correct, and the run must cost more cycles
+// than the refresh-free configuration.
+func TestRefreshEndToEnd(t *testing.T) {
+	k, err := KernelByName("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride 16 collapses onto one bank, making the run SDRAM-bound so
+	// refresh interference cannot hide under bus slack.
+	trace := k.Build(PaperParams(16, 0))
+
+	plain, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := plain.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 200 // aggressive, to force visible interference
+	cfg.TRFC = 8
+	refreshed, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRef, err := refreshed.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resRef.Cycles <= resPlain.Cycles {
+		t.Errorf("refresh run (%d cycles) not slower than plain (%d)", resRef.Cycles, resPlain.Cycles)
+	}
+	// Data correctness under refresh.
+	want, err := Reference().Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Cmds {
+		if trace.Cmds[i].Op != Read {
+			continue
+		}
+		for j := range want.ReadData[i] {
+			if resRef.ReadData[i][j] != want.ReadData[i][j] {
+				t.Fatalf("cmd %d word %d corrupted under refresh", i, j)
+			}
+		}
+	}
+	t.Logf("plain: %d cycles; with refresh every 200: %d cycles (+%.1f%%)",
+		resPlain.Cycles, resRef.Cycles,
+		100*float64(resRef.Cycles-resPlain.Cycles)/float64(resPlain.Cycles))
+}
+
+// TestRefreshRealisticInterval uses the actual 64 ms / 4096-row
+// obligation at 100 MHz (one refresh every ~1562 cycles): the overhead
+// must be small, as every real controller relies on.
+func TestRefreshRealisticInterval(t *testing.T) {
+	k, _ := KernelByName("copy")
+	trace := k.Build(PaperParams(1, 0))
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 1562
+	cfg.TRFC = 8
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewSystem(DefaultConfig())
+	base, err := plain.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(res.Cycles-base.Cycles) / float64(base.Cycles)
+	if overhead > 0.05 {
+		t.Errorf("realistic refresh costs %.1f%%, expected under 5%%", 100*overhead)
+	}
+}
