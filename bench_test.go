@@ -252,3 +252,65 @@ func BenchmarkIndirectGather(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "cycles")
 }
+
+// BenchmarkSweepSerial runs the full evaluation sweep (960 points) on
+// the single-threaded engine. Compare with BenchmarkSweepParallel for
+// the worker-pool speedup on multi-core machines (this is the pair the
+// parallel engine exists for; on one core they coincide).
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepWithOptions(nil, nil, nil, SweepOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel is the same sweep on the worker pool (one
+// goroutine per CPU).
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepWithOptions(nil, nil, nil, SweepOptions{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrictTickLoop measures the simulator without event-driven
+// idle skipping — the denominator of the skip machinery's win.
+func BenchmarkStrictTickLoop(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.DisableIdleSkip = true
+	k, err := KernelByName("vaxpy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := k.Build(PaperParams(19, 1))
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkippingTickLoop is BenchmarkStrictTickLoop with the default
+// event-driven engine.
+func BenchmarkSkippingTickLoop(b *testing.B) {
+	k, err := KernelByName("vaxpy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := k.Build(PaperParams(19, 1))
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	sweep                 # everything (Figures 7-11 + headlines)
 //	sweep -kernels copy,scale -verify
 //	sweep -elements 256   # faster, shorter vectors
+//	sweep -workers 1      # force the serial engine (0: one per CPU)
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 		kernelsFlag = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 		elements    = flag.Uint("elements", 1024, "elements per application vector")
 		verify      = flag.Bool("verify", false, "replay every point against the functional reference")
+		workers     = flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
 	)
 	flag.Parse()
 
@@ -34,14 +36,11 @@ func main() {
 	}
 
 	start := time.Now()
-	var points []pva.SweepPoint
-	var err error
-	if *elements == 1024 {
-		points, err = pva.Sweep(names, nil, nil, *verify)
-	} else {
-		// Reduced vectors: run the same grid point by point.
-		points, err = sweepReduced(names, uint32(*elements), *verify)
-	}
+	points, err := pva.SweepWithOptions(names, nil, nil, pva.SweepOptions{
+		Elements: uint32(*elements),
+		Verify:   *verify,
+		Workers:  *workers,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -49,29 +48,4 @@ func main() {
 	pva.Figures(os.Stdout, points)
 	fmt.Printf("%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
 		map[bool]string{true: " (verified against reference)", false: ""}[*verify])
-}
-
-func sweepReduced(names []string, elements uint32, verify bool) ([]pva.SweepPoint, error) {
-	if names == nil {
-		for _, k := range pva.Kernels() {
-			names = append(names, k.Name)
-		}
-	}
-	var points []pva.SweepPoint
-	for _, n := range names {
-		for _, s := range pva.PaperStrides() {
-			for a := 0; a < pva.AlignmentCount; a++ {
-				for _, kind := range []pva.SystemKind{pva.PVASDRAM, pva.CacheLineSerial, pva.GatheringSerial, pva.PVASRAM} {
-					p := pva.PaperParams(s, a)
-					p.Elements = elements
-					pt, err := pva.RunKernel(kind, n, p)
-					if err != nil {
-						return nil, err
-					}
-					points = append(points, pt)
-				}
-			}
-		}
-	}
-	return points, nil
 }

@@ -1,0 +1,130 @@
+package pva
+
+import (
+	"fmt"
+	"testing"
+)
+
+// systemsUnderTest builds one fresh instance of every cycle-level
+// system, including a hot-row-predictor PVA whose row policy is the one
+// stateful component shared across a System's lifetime.
+func systemsUnderTest(t *testing.T) map[string]System {
+	t.Helper()
+	hot := DefaultConfig()
+	hot.RowPolicy = "hotrow"
+	pvaSys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sramSys, err := NewSRAMSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotSys, err := NewSystem(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]System{
+		"pva-sdram":        pvaSys,
+		"pva-sram":         sramSys,
+		"pva-hotrow":       hotSys,
+		"cacheline-serial": NewCacheLineSerial(),
+		"gathering-serial": NewGatheringSerial(),
+	}
+}
+
+// TestReusedSystemDeterminism runs the same trace twice on one System
+// instance. Memory contents legitimately carry over between runs, but
+// timing must not: cycle counts and statistics depend only on the
+// address pattern, so any drift means run-scoped state (the hot-row
+// predictor's history, scheduler timers) leaked across Run calls.
+func TestReusedSystemDeterminism(t *testing.T) {
+	k, err := KernelByName("vaxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams(19, 3)
+	p.Elements = 512
+	trace := k.Build(p)
+	for name, sys := range systemsUnderTest(t) {
+		first, err := sys.Run(trace)
+		if err != nil {
+			t.Fatalf("%s run 1: %v", name, err)
+		}
+		second, err := sys.Run(trace)
+		if err != nil {
+			t.Fatalf("%s run 2: %v", name, err)
+		}
+		if first.Cycles != second.Cycles {
+			t.Errorf("%s: reused system timed %d cycles then %d", name, first.Cycles, second.Cycles)
+		}
+		if first.Stats != second.Stats {
+			t.Errorf("%s: reused system stats drifted\nrun 1: %+v\nrun 2: %+v", name, first.Stats, second.Stats)
+		}
+	}
+}
+
+// translate returns the trace with every vector base shifted by off
+// words. Dataflow (DependsOn, Compute) is untouched.
+func translate(tr Trace, off uint32) Trace {
+	out := Trace{Cmds: make([]VectorCmd, len(tr.Cmds))}
+	copy(out.Cmds, tr.Cmds)
+	for i := range out.Cmds {
+		out.Cmds[i].V.Base += off
+	}
+	return out
+}
+
+// TestTranslationInvariance is the metamorphic check of the address
+// decomposition: translating every vector by a whole number of
+// periodicity units must leave cycle counts unchanged. For the serial
+// baselines the unit is one cache line; for the PVA systems it is
+// Banks*RowWords*InternalBanks words — one full row across the whole
+// array, which shifts every decomposed row index uniformly by one.
+func TestTranslationInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	pvaUnit := cfg.Banks * cfg.RowWords * cfg.InternalBanks
+	lineUnit := cfg.LineWords
+	cases := []struct {
+		mk   func() (System, error)
+		unit uint32
+	}{
+		{func() (System, error) { return NewSystem(cfg) }, pvaUnit},
+		{func() (System, error) { return NewSRAMSystem(cfg) }, pvaUnit},
+		{func() (System, error) { return NewCacheLineSerial(), nil }, lineUnit},
+		{func() (System, error) { return NewGatheringSerial(), nil }, lineUnit},
+	}
+	k, err := KernelByName("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []uint32{1, 4, 19} {
+		p := PaperParams(stride, 2)
+		p.Elements = 256
+		trace := k.Build(p)
+		for _, c := range cases {
+			for _, mult := range []uint32{1, 3} {
+				base, err := c.mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				moved, err := c.mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := base.Run(trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := moved.Run(translate(trace, mult*c.unit))
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("%s stride %d +%d words", base.Name(), stride, mult*c.unit)
+				if got.Cycles != want.Cycles {
+					t.Errorf("%s: %d cycles, untranslated %d", name, got.Cycles, want.Cycles)
+				}
+			}
+		}
+	}
+}

@@ -72,6 +72,30 @@ func Sweep(kernelNames []string, strides []uint32, systems []SystemKind, verify 
 	return r.Sweep(kernelNames, strides, systems)
 }
 
+// SweepOptions tunes SweepWithOptions beyond the grid selection.
+type SweepOptions struct {
+	// Elements per application vector; 0 means the paper's 1024.
+	Elements uint32
+	// Verify replays every point against the functional reference.
+	Verify bool
+	// Workers bounds the sweep's worker pool: 0 uses one goroutine per
+	// CPU, 1 forces the serial engine, and any other value caps the pool
+	// at that many goroutines. The point order is identical either way —
+	// every cell runs on a fresh System, and results land at their
+	// planned index.
+	Workers int
+}
+
+// SweepWithOptions measures kernels x strides x alignments x systems
+// with explicit engine options. Nil slices select the paper's full sets.
+func SweepWithOptions(kernelNames []string, strides []uint32, systems []SystemKind, o SweepOptions) ([]SweepPoint, error) {
+	r := harness.Runner{Elements: o.Elements, Verify: o.Verify}
+	if o.Workers == 1 {
+		return r.Sweep(kernelNames, strides, systems)
+	}
+	return r.ParallelSweep(kernelNames, strides, systems, o.Workers)
+}
+
 // Figures writes the text form of every evaluation figure (7-11) plus
 // the headline ratios for a full sweep's points.
 func Figures(w io.Writer, points []SweepPoint) {

@@ -1,0 +1,177 @@
+package pva
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The fuzzers drive random vector-command traces through the cycle-level
+// systems and demand word-for-word agreement with the functional
+// reference — both the gathered lines and the final memory image. One
+// command is ten bytes: flags, a 32-bit base, a 32-bit stride, a length
+// byte. The PVA parser caps bases below 2^24 and strides below 2^18 so
+// no vector wraps the 32-bit address space: the front end's conflict
+// guard reasons about non-wrapping bounds, and a wrapped write may
+// legitimately reorder. The baseline parser keeps the full ranges —
+// those systems execute strictly in program order.
+const fuzzCmdBytes = 10
+
+func parseFuzzTrace(data []byte, forPVA bool) (Trace, bool) {
+	n := len(data) / fuzzCmdBytes
+	if n == 0 {
+		return Trace{}, false
+	}
+	if n > 6 {
+		n = 6
+	}
+	var tr Trace
+	lastRead := -1
+	for i := 0; i < n; i++ {
+		rec := data[i*fuzzCmdBytes:]
+		flags := rec[0]
+		base := binary.LittleEndian.Uint32(rec[1:5])
+		stride := binary.LittleEndian.Uint32(rec[5:9])
+		length := uint32(rec[9])%32 + 1
+		if forPVA {
+			base &= 1<<24 - 1
+			stride &= 1<<18 - 1
+		}
+		cmd := VectorCmd{V: Vector{Base: base, Stride: stride, Length: length}}
+		if flags&1 == 0 {
+			cmd.Op = Read
+			lastRead = len(tr.Cmds)
+		} else {
+			cmd.Op = Write
+			if flags&2 != 0 && lastRead >= 0 {
+				// Dataflow: derive the written line from an earlier gather.
+				dep := lastRead
+				cmd.DependsOn = []int{dep}
+				cmd.Compute = func(deps [][]uint32) []uint32 {
+					out := make([]uint32, length)
+					for j := range out {
+						out[j] = deps[0][j%len(deps[0])] + 1
+					}
+					return out
+				}
+			} else {
+				cmd.Data = make([]uint32, length)
+				for j := range cmd.Data {
+					cmd.Data[j] = base ^ stride ^ uint32(j)
+				}
+			}
+		}
+		tr.Cmds = append(tr.Cmds, cmd)
+	}
+	return tr, true
+}
+
+// seedCmd encodes one command record for the fuzz corpora.
+func seedCmd(flags byte, base, stride uint32, length byte) []byte {
+	rec := make([]byte, fuzzCmdBytes)
+	rec[0] = flags
+	binary.LittleEndian.PutUint32(rec[1:5], base)
+	binary.LittleEndian.PutUint32(rec[5:9], stride)
+	rec[9] = length
+	return rec
+}
+
+func fuzzSeeds(f *testing.F) {
+	// The paper's strides, the degenerate and power-of-two edges, and an
+	// odd-times-power-of-two stride, each as a read/write pair, plus a
+	// gather-compute-scatter chain.
+	for _, s := range []uint32{0, 1, 2, 3, 4, 8, 16, 19, 32, 48, 1 << 16, 19 << 10} {
+		f.Add(append(seedCmd(0, 64, s, 31), seedCmd(1, 96, s, 31)...))
+	}
+	f.Add(append(append(seedCmd(0, 0, 19, 31), seedCmd(3, 1<<20, 4, 15)...), seedCmd(0, 1<<20, 4, 15)...))
+	f.Add(append(seedCmd(1, 128, 0, 31), seedCmd(0, 128, 0, 7)...))
+}
+
+// checkAgainstReference runs the trace on sys and the functional
+// reference and compares every gathered line and the final image at
+// every touched address.
+func checkAgainstReference(t *testing.T, sys System, tr Trace) {
+	t.Helper()
+	ref := Reference()
+	want, err := ref.Run(tr)
+	if err != nil {
+		t.Skip() // structurally invalid trace; nothing to differentiate
+	}
+	got, err := sys.Run(tr)
+	if err != nil {
+		t.Fatalf("%s rejected a trace the reference accepts: %v", sys.Name(), err)
+	}
+	for i, c := range tr.Cmds {
+		if c.Op != Read {
+			continue
+		}
+		for j := range want.ReadData[i] {
+			if got.ReadData[i][j] != want.ReadData[i][j] {
+				t.Fatalf("%s: cmd %d word %d = %#x, reference %#x",
+					sys.Name(), i, j, got.ReadData[i][j], want.ReadData[i][j])
+			}
+		}
+	}
+	for _, c := range tr.Cmds {
+		for i := uint32(0); i < c.V.Length; i++ {
+			a := c.V.Addr(i)
+			if g, w := sys.Peek(a), ref.Peek(a); g != w {
+				t.Fatalf("%s: final image at %d = %#x, reference %#x", sys.Name(), a, g, w)
+			}
+		}
+	}
+}
+
+// FuzzDifferentialPVA checks both PVA systems against the reference on
+// random traces.
+func FuzzDifferentialPVA(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, ok := parseFuzzTrace(data, true)
+		if !ok {
+			t.Skip()
+		}
+		sdramSys, err := NewSystem(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sramSys, err := NewSRAMSystem(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstReference(t, sdramSys, tr)
+		checkAgainstReference(t, sramSys, tr)
+	})
+}
+
+// FuzzDifferentialBaselines checks both serial baselines against the
+// reference on random traces over the full 32-bit address space, and
+// cross-checks the cache-line system's LineFills statistic against an
+// enumerated line count.
+func FuzzDifferentialBaselines(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, ok := parseFuzzTrace(data, false)
+		if !ok {
+			t.Skip()
+		}
+		cl := NewCacheLineSerial()
+		checkAgainstReference(t, cl, tr)
+		checkAgainstReference(t, NewGatheringSerial(), tr)
+
+		var wantFills uint64
+		for _, c := range tr.Cmds {
+			seen := make(map[uint32]struct{})
+			for i := uint32(0); i < c.V.Length; i++ {
+				seen[c.V.Addr(i)/32] = struct{}{}
+			}
+			wantFills += uint64(len(seen))
+		}
+		res, err := cl.Run(tr) // rerun: timing stats are image-independent
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.LineFills != wantFills {
+			t.Fatalf("cacheline LineFills = %d, enumeration says %d", res.Stats.LineFills, wantFills)
+		}
+	})
+}

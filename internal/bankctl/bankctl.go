@@ -136,6 +136,11 @@ func (bc *BC) Device() *sdram.Device { return bc.dev }
 // Stats returns a copy of the controller counters.
 func (bc *BC) Stats() Stats { return bc.stats }
 
+// CycleNow reports the controller's local clock. Under lazy ticking the
+// front end lets idle controllers fall behind the global cycle and uses
+// this to compute the catch-up AdvanceIdle span.
+func (bc *BC) CycleNow() uint64 { return bc.cycle }
+
 // Busy reports whether the controller still has queued or in-flight work.
 func (bc *BC) Busy() bool {
 	return len(bc.rqf) > 0 || bc.sched.busy()
@@ -221,6 +226,53 @@ func (bc *BC) Tick() error {
 		}
 	}
 	bc.cycle++
+	return nil
+}
+
+// NoEvent is returned by NextEventAt when the controller is fully idle
+// and, absent a new broadcast, will never need another cycle.
+const NoEvent = ^uint64(0)
+
+// NextEventAt returns the earliest cycle at which this controller must
+// execute a real Tick: the current cycle while any queued or in-flight
+// work exists, the maturity cycle of pending read data, the next refresh
+// obligation, or NoEvent when fully idle. The front end uses this to
+// skip runs of provably no-op cycles; the returned cycle is a lower
+// bound on the next state change, never an overestimate.
+func (bc *BC) NextEventAt() uint64 {
+	// Queued requests (FHC work, dispatch) and live vector contexts need
+	// cycle-by-cycle attention: their next action depends on bank
+	// restimers and arbitration that the per-cycle scheduler resolves.
+	if len(bc.rqf) > 0 || bc.sched.busy() {
+		return bc.cycle
+	}
+	next := uint64(NoEvent)
+	if at := bc.dev.NextDataAt(); at < next {
+		next = at
+	}
+	if !bc.cfg.Static && bc.cfg.Timing.RefreshInterval > 0 {
+		if at := bc.dev.NextRefreshAt(); at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// AdvanceIdle jumps the controller (and its device) forward by delta
+// cycles the front end has proven to be no-ops: no queued work, no
+// scheduling, no data maturing inside the span. Counters advance exactly
+// as delta per-cycle Ticks would have advanced them.
+func (bc *BC) AdvanceIdle(delta uint64) error {
+	if delta == 0 {
+		return nil
+	}
+	if len(bc.rqf) > 0 || bc.sched.busy() {
+		return fmt.Errorf("bankctl: bank %d AdvanceIdle with work queued", bc.cfg.Bank)
+	}
+	if err := bc.dev.AdvanceIdle(delta); err != nil {
+		return fmt.Errorf("bankctl: bank %d: %w", bc.cfg.Bank, err)
+	}
+	bc.cycle += delta
 	return nil
 }
 

@@ -15,8 +15,9 @@ import (
 type readStage struct {
 	open     bool
 	expected uint32
-	got      uint32
-	words    map[uint32]uint32 // element index -> data
+	seen     uint64   // dup-detect bitmask for element indices < 64
+	idxs     []uint32 // element indices, arrival order
+	words    []uint32 // data, parallel to idxs
 }
 
 type staging struct {
@@ -28,7 +29,12 @@ func newStaging(banks uint32) *staging { return &staging{} }
 
 // openRead arms the read staging buffer for txn, expecting count words.
 func (s *staging) openRead(txn int, count uint32) {
-	s.reads[txn] = readStage{open: true, expected: count, words: make(map[uint32]uint32, count)}
+	s.reads[txn] = readStage{
+		open:     true,
+		expected: count,
+		idxs:     make([]uint32, 0, count),
+		words:    make([]uint32, 0, count),
+	}
 }
 
 // putRead stores one returned word; reports true exactly once, when the
@@ -39,12 +45,21 @@ func (s *staging) putRead(txn int, idx, data uint32) bool {
 	if !r.open {
 		panic(fmt.Sprintf("bankctl: read data for closed txn %d", txn))
 	}
-	if _, dup := r.words[idx]; dup {
-		panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+	if idx < 64 {
+		if r.seen&(1<<idx) != 0 {
+			panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+		}
+		r.seen |= 1 << idx
+	} else {
+		for _, have := range r.idxs {
+			if have == idx {
+				panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+			}
+		}
 	}
-	r.words[idx] = data
-	r.got++
-	return r.got == r.expected
+	r.idxs = append(r.idxs, idx)
+	r.words = append(r.words, data)
+	return uint32(len(r.words)) == r.expected
 }
 
 // collect copies gathered words into the dense line; returns the count.
@@ -53,14 +68,14 @@ func (s *staging) collect(txn int, line []uint32) int {
 	if !r.open {
 		return 0
 	}
-	if r.got != r.expected {
-		panic(fmt.Sprintf("bankctl: collecting txn %d before completion (%d/%d)", txn, r.got, r.expected))
+	if uint32(len(r.words)) != r.expected {
+		panic(fmt.Sprintf("bankctl: collecting txn %d before completion (%d/%d)", txn, len(r.words), r.expected))
 	}
-	for idx, w := range r.words {
+	for k, idx := range r.idxs {
 		if idx >= uint32(len(line)) {
 			panic(fmt.Sprintf("bankctl: txn %d element %d outside line of %d", txn, idx, len(line)))
 		}
-		line[idx] = w
+		line[idx] = r.words[k]
 	}
 	return len(r.words)
 }

@@ -51,8 +51,9 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	lines := make([][]uint32, len(t.Cmds))
 	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
 	for i, c := range t.Cmds {
-		res.Stats.LineFills += s.linesTouched(c)
-		res.Cycles += s.linesTouched(c) * s.FillCost
+		touched := s.linesTouched(c)
+		res.Stats.LineFills += touched
+		res.Cycles += touched * s.FillCost
 		switch c.Op {
 		case memsys.Read:
 			lines[i] = s.store.Gather(c.V)
@@ -71,10 +72,30 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 }
 
 // linesTouched counts the distinct cache lines a vector command covers.
+// When the vector fits the 32-bit address space without wrapping, the
+// count is closed-form: addresses are monotone, so a sub-line stride
+// touches every line in its span and a line-or-larger stride puts each
+// element on its own line. Wrapping vectors fall back to enumeration.
 func (s *CacheLineSerial) linesTouched(c memsys.VectorCmd) uint64 {
-	seen := make(map[uint32]struct{}, c.V.Length)
-	for i := uint32(0); i < c.V.Length; i++ {
-		seen[c.V.Addr(i)/s.LineWords] = struct{}{}
+	v := c.V
+	if v.Length == 0 {
+		return 0
+	}
+	span := uint64(v.Stride) * uint64(v.Length-1)
+	if uint64(v.Base)+span <= 0xFFFFFFFF {
+		L := uint64(s.LineWords)
+		switch {
+		case v.Stride == 0:
+			return 1
+		case uint64(v.Stride) >= L:
+			return uint64(v.Length)
+		default:
+			return (uint64(v.Base)%L+span)/L + 1
+		}
+	}
+	seen := make(map[uint32]struct{}, v.Length)
+	for i := uint32(0); i < v.Length; i++ {
+		seen[v.Addr(i)/s.LineWords] = struct{}{}
 	}
 	return uint64(len(seen))
 }

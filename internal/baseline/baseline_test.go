@@ -168,3 +168,32 @@ func TestBaselineValidation(t *testing.T) {
 		t.Error("gathering: invalid trace accepted")
 	}
 }
+
+// TestLinesTouchedClosedForm checks the arithmetic line count against
+// exhaustive enumeration, including stride-zero, sub-line, line-multiple
+// and wrapping vectors.
+func TestLinesTouchedClosedForm(t *testing.T) {
+	s := NewCacheLineSerial()
+	enumerate := func(v core.Vector) uint64 {
+		seen := make(map[uint32]struct{})
+		for i := uint32(0); i < v.Length; i++ {
+			seen[v.Addr(i)/s.LineWords] = struct{}{}
+		}
+		return uint64(len(seen))
+	}
+	bases := []uint32{0, 1, 17, 31, 32, 1 << 20, 0xFFFFFF00, 0xFFFFFFFF}
+	strides := []uint32{0, 1, 2, 3, 8, 19, 31, 32, 33, 64, 513, 1 << 16, 1 << 30}
+	lengths := []uint32{1, 2, 3, 31, 32, 33, 100}
+	for _, b := range bases {
+		for _, st := range strides {
+			for _, n := range lengths {
+				v := core.Vector{Base: b, Stride: st, Length: n}
+				got := s.linesTouched(memsys.VectorCmd{Op: memsys.Read, V: v})
+				want := enumerate(v)
+				if got != want {
+					t.Fatalf("linesTouched(%+v) = %d, enumeration says %d", v, got, want)
+				}
+			}
+		}
+	}
+}

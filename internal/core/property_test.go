@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+// TestClosedFormsExhaustiveStrides sweeps every stride below 2^16 (2^12
+// in -short runs) on all paper-relevant bank counts and checks the
+// FirstHit / SubVector / NextHit closed forms against brute-force
+// expansion. This is the ground truth the whole PVA scheme rests on:
+// the bank controllers never enumerate vectors, they trust exactly
+// these formulas.
+func TestClosedFormsExhaustiveStrides(t *testing.T) {
+	bound := uint32(1) << 16
+	if testing.Short() {
+		bound = 1 << 12
+	}
+	for _, banks := range []uint32{4, 8, 16, 32} {
+		g := MustGeometry(banks)
+		length := 3 * banks
+		for stride := uint32(0); stride < bound; stride++ {
+			for _, base := range []uint32{0, 7} {
+				v := Vector{Base: base, Stride: stride, Length: length}
+				var total uint32
+				for b := uint32(0); b < banks; b++ {
+					want := BruteSubVectorWord(g, v, b)
+					got := g.SubVector(v, b)
+					if got.First != want.First || got.Count != want.Count {
+						t.Fatalf("M=%d SubVector(%+v, %d) = %+v, want %+v", banks, v, b, got, want)
+					}
+					if fh := g.FirstHit(v, b); fh != want.First {
+						t.Fatalf("M=%d FirstHit(%+v, %d) = %d, want %d", banks, v, b, fh, want.First)
+					}
+					if want.Count > 1 && got.Delta != want.Delta {
+						t.Fatalf("M=%d SubVector(%+v, %d) delta = %d, want %d", banks, v, b, got.Delta, want.Delta)
+					}
+					if want.Count > 1 && g.NextHit(stride) != want.Delta {
+						t.Fatalf("M=%d NextHit(%d) = %d, want %d", banks, stride, g.NextHit(stride), want.Delta)
+					}
+					total += got.Count
+				}
+				if total != length {
+					t.Fatalf("M=%d stride %d base %d: subvector counts sum to %d, want %d",
+						banks, stride, base, total, length)
+				}
+			}
+		}
+	}
+}

@@ -155,10 +155,19 @@ func verify(sys memsys.System, trace memsys.Trace, res memsys.Result) error {
 	return nil
 }
 
-// Sweep measures the full cross product. kernelNames nil means all
-// kernels; strides nil means the paper's; systems nil means all four;
-// alignments is always the full 0..4 range.
-func (r Runner) Sweep(kernelNames []string, strides []uint32, systems []SystemKind) ([]Point, error) {
+// job is one cell of a planned sweep.
+type job struct {
+	kernel    kernels.Kernel
+	stride    uint32
+	alignment int
+	system    SystemKind
+}
+
+// plan expands a sweep request into its cell list in canonical order:
+// kernel-major, then stride, alignment, system. Both the serial and the
+// parallel engines execute exactly this list, so their point slices are
+// index-for-index identical.
+func plan(kernelNames []string, strides []uint32, systems []SystemKind) ([]job, error) {
 	ks := kernels.All()
 	if kernelNames != nil {
 		ks = ks[:0:0]
@@ -176,19 +185,34 @@ func (r Runner) Sweep(kernelNames []string, strides []uint32, systems []SystemKi
 	if systems == nil {
 		systems = AllSystems()
 	}
-	var points []Point
+	jobs := make([]job, 0, len(ks)*len(strides)*kernels.Alignments*len(systems))
 	for _, k := range ks {
 		for _, s := range strides {
 			for a := 0; a < kernels.Alignments; a++ {
 				for _, sys := range systems {
-					p, err := r.RunPoint(k, s, a, sys)
-					if err != nil {
-						return nil, err
-					}
-					points = append(points, p)
+					jobs = append(jobs, job{kernel: k, stride: s, alignment: a, system: sys})
 				}
 			}
 		}
+	}
+	return jobs, nil
+}
+
+// Sweep measures the full cross product serially. kernelNames nil means
+// all kernels; strides nil means the paper's; systems nil means all
+// four; alignments is always the full 0..4 range.
+func (r Runner) Sweep(kernelNames []string, strides []uint32, systems []SystemKind) ([]Point, error) {
+	jobs, err := plan(kernelNames, strides, systems)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(jobs))
+	for i, j := range jobs {
+		p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = p
 	}
 	return points, nil
 }
@@ -244,14 +268,29 @@ type Headline struct {
 // Headlines computes the summary ratios. Comparisons use each system's
 // minimum-over-alignments time against the PVA's minimum, matching the
 // paper's normalization to "the minimum PVA SDRAM cycle time for each
-// access pattern".
+// access pattern". Cells are visited in sorted key order so ties break
+// deterministically (map iteration order must not leak into reports).
 func Headlines(coll map[Key]Range) Headline {
+	keys := make([]Key, 0, len(coll))
+	for k := range coll {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Stride != b.Stride {
+			return a.Stride < b.Stride
+		}
+		return a.System < b.System
+	})
 	var h Headline
-	for k, r := range coll {
+	for _, k := range keys {
 		if k.System != PVASDRAM {
 			continue
 		}
-		pva := r.Min
+		pva := coll[k].Min
 		if cl, ok := coll[Key{k.Kernel, k.Stride, CacheLineSerial}]; ok {
 			ratio := float64(cl.Min) / float64(pva)
 			if ratio > h.MaxVsCacheLine {

@@ -1,0 +1,78 @@
+// The parallel sweep engine: the same cell list the serial Sweep
+// executes, sharded over a bounded worker pool. Every worker constructs
+// its own memsys.System per point (RunPoint already does), so no
+// simulator state is shared between goroutines, and results land at
+// their planned index, making the output deterministically identical to
+// the serial sweep regardless of scheduling.
+
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelSweep measures the same cross product as Sweep using up to
+// workers goroutines (workers <= 0 selects runtime.NumCPU()). The
+// returned points are in the exact order Sweep would produce. On error
+// the first failure observed is returned and remaining work is
+// abandoned.
+func (r Runner) ParallelSweep(kernelNames []string, strides []uint32, systems []SystemKind, workers int) ([]Point, error) {
+	jobs, err := plan(kernelNames, strides, systems)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		// One worker is exactly the serial sweep; skip the pool machinery.
+		points := make([]Point, len(jobs))
+		for i, j := range jobs {
+			p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+			if err != nil {
+				return nil, err
+			}
+			points[i] = p
+		}
+		return points, nil
+	}
+
+	points := make([]Point, len(jobs))
+	var (
+		next    atomic.Int64 // index of the next unclaimed job
+		failed  atomic.Bool  // set once any worker errors; stops claiming
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+				points[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, firstEr
+	}
+	return points, nil
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelSweepMatchesSerial requires the parallel engine to produce
+// the serial sweep's point slice exactly — same order, same cycles, same
+// stats — at several pool widths, including more workers than cells.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	r := Runner{Elements: 128}
+	kernels := []string{"copy", "saxpy"}
+	strides := []uint32{1, 16, 19}
+	serial, err := r.Sweep(kernels, strides, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 1000} {
+		par, err := r.ParallelSweep(kernels, strides, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: parallel sweep diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(Collate(serial), Collate(par)) {
+			t.Fatalf("workers=%d: collated ranges diverged", workers)
+		}
+	}
+}
+
+// TestParallelSweepError requires a failing cell to surface its error
+// rather than a partial point slice.
+func TestParallelSweepError(t *testing.T) {
+	r := Runner{Elements: 128}
+	if _, err := r.ParallelSweep([]string{"no-such-kernel"}, nil, nil, 4); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

@@ -85,6 +85,16 @@ func NewRowPolicy(internalBanks uint32, policy uint16) *RowPolicy {
 // Name implements bankctl.RowPolicy.
 func (rp *RowPolicy) Name() string { return "hotrow-21174" }
 
+// Reset clears every predictor's history. The PVA front end calls this
+// at the start of each Run so a reused System times every trace from the
+// same cold-predictor state (the policy registers are software-set
+// configuration and survive).
+func (rp *RowPolicy) Reset() {
+	for _, p := range rp.preds {
+		p.history = 0
+	}
+}
+
 // AutoPrecharge implements bankctl.RowPolicy.
 func (rp *RowPolicy) AutoPrecharge(d bankctl.RowDecision) bool {
 	p := rp.preds[int(d.IBank)%len(rp.preds)]

@@ -48,6 +48,13 @@ type Config struct {
 	RowPolicy bankctl.RowPolicy
 	Observer  trace.Observer // optional event sink (nil: tracing off)
 	MaxCycles uint64         // deadlock guard; 0 = default
+
+	// DisableIdleSkip forces the strict tick-every-cycle loop. By default
+	// the front end advances the clock directly to the next event cycle
+	// whenever every bank controller and bus timer is provably idle;
+	// cycle counts are bit-identical either way (the skip only elides
+	// cycles in which no component changes state).
+	DisableIdleSkip bool
 }
 
 // PaperConfig returns the Section 5.1 prototype: 16 banks of
@@ -141,6 +148,12 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 	board := bus.NewBoard(s.cfg.Banks)
 	vbus := bus.New()
 	geom := core.MustGeometry(s.cfg.Banks)
+	// Stateful row policies (the hot-row predictor) train across
+	// accesses; a run must not inherit the previous run's history, or
+	// repeated Runs on one System would time differently.
+	if r, ok := s.cfg.RowPolicy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
 	bcs := make([]*bankctl.BC, s.cfg.Banks)
 	for b := uint32(0); b < s.cfg.Banks; b++ {
 		bcs[b] = bankctl.New(bankctl.Config{
@@ -198,6 +211,16 @@ type frontEnd struct {
 	lines     [][]uint32 // per command: gathered line (reads) or computed line (writes)
 	remaining int
 	lastDone  uint64
+
+	// first is the completed-prefix frontier: every command before it has
+	// retired, so the per-cycle scans start there.
+	first int
+	// wake caches each bank controller's next-event cycle. A controller
+	// whose wake lies in the future is provably idle and is not ticked at
+	// all; its clock is lazily advanced (syncBC) the moment the front end
+	// next touches it. Skipped cycles are pure counter increments, so
+	// timing is bit-identical to ticking every controller every cycle.
+	wake []uint64
 }
 
 func (fe *frontEnd) run() (memsys.Result, error) {
@@ -206,7 +229,8 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 	if fe.remaining == 0 {
 		return memsys.Result{}, nil
 	}
-	for cycle := uint64(0); fe.remaining > 0; cycle++ {
+	fe.wake = make([]uint64, len(fe.bcs)) // zero: everyone ticks at cycle 0
+	for cycle := uint64(0); fe.remaining > 0; {
 		if cycle > fe.cfg.MaxCycles {
 			return memsys.Result{}, fmt.Errorf("pvaunit: no forward progress after %d cycles (%d commands left)\n%s",
 				cycle, fe.remaining, fe.debugString())
@@ -214,10 +238,42 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 		if err := fe.step(cycle); err != nil {
 			return memsys.Result{}, err
 		}
-		for _, bc := range fe.bcs {
+		for b, bc := range fe.bcs {
+			// Lazy ticking: a controller whose next event lies beyond this
+			// cycle is provably inert and is not ticked at all. Its local
+			// clock catches up (pure counter increments) the cycle it next
+			// matters, so timing is bit-identical to the strict loop.
+			if !fe.cfg.DisableIdleSkip && fe.wake[b] > cycle {
+				continue
+			}
+			if lag := bc.CycleNow(); lag < cycle {
+				if err := bc.AdvanceIdle(cycle - lag); err != nil {
+					return memsys.Result{}, err
+				}
+			}
 			if err := bc.Tick(); err != nil {
 				return memsys.Result{}, err
 			}
+			fe.wake[b] = bc.NextEventAt()
+		}
+		cycle++
+		if fe.cfg.DisableIdleSkip || fe.remaining == 0 {
+			continue
+		}
+		// Event-driven idle skipping: when every pending command timer,
+		// bus tenure and bank controller agrees the next state change
+		// lies strictly in the future, jump the global clock there.
+		// Every elided cycle is one in which step() and all Ticks would
+		// have been pure counter increments, so cycle counts match the
+		// strict loop bit for bit.
+		if next := fe.nextWake(cycle); next > cycle {
+			// A deadlocked system reports no wake at all; land just past
+			// the guard so the diagnostic above fires instead of jumping
+			// the clock to the end of time.
+			if next > fe.cfg.MaxCycles {
+				next = fe.cfg.MaxCycles + 1
+			}
+			cycle = next
 		}
 	}
 	readData := make([][]uint32, len(fe.trace.Cmds))
@@ -227,6 +283,83 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 		}
 	}
 	return memsys.Result{Cycles: fe.lastDone, ReadData: readData}, nil
+}
+
+// nextWake returns the earliest cycle >= now at which any component may
+// change state: a front-end timer (broadcast, staging burst end), a bus
+// decision point with schedulable work, or a bank controller event. It
+// is a lower bound — waking early merely costs a no-op iteration — but
+// never an overestimate, which is what makes skipped cycles provably
+// inert and cycle counts identical to the strict loop.
+func (fe *frontEnd) nextWake(now uint64) uint64 {
+	next := bankctl.NoEvent
+	upd := func(c uint64) {
+		if c < next {
+			next = c
+		}
+	}
+	// The wake cache is current: busy controllers were ticked (and
+	// refreshed their entry) in the loop that just ran, and skipped
+	// controllers' entries still lie in the future by construction.
+	for _, w := range fe.wake {
+		upd(w)
+		if next <= now {
+			return now
+		}
+	}
+	for i := fe.first; i < len(fe.state); i++ {
+		st := &fe.state[i]
+		if st.completed {
+			continue
+		}
+		c := &fe.trace.Cmds[i]
+		if !st.issued {
+			// May become broadcastable at the next bus decision point
+			// once its dependences are complete. (Conflict and
+			// transaction-ID availability can defer it further; waking
+			// at the bus point and finding nothing to do is harmless.)
+			ready := true
+			for _, d := range c.DependsOn {
+				if !fe.state[d].completed {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				upd(max(now, fe.bus.BusyUntil()))
+			}
+		} else if !st.broadcastDone {
+			if c.Op == memsys.Write {
+				upd(st.stageWriteEnd)
+			}
+			upd(st.broadcastAt)
+		} else {
+			switch c.Op {
+			case memsys.Read:
+				switch {
+				case !st.gathered:
+					// The transaction-complete line deasserts during a
+					// bank controller Tick; once it has, the front end
+					// must observe it on its very next step.
+					if fe.board.AllDone(st.txn) {
+						upd(now)
+					}
+				case !st.stagingStarted:
+					upd(max(now, fe.bus.BusyUntil()))
+				default:
+					upd(st.stageReadEnd)
+				}
+			case memsys.Write:
+				if fe.board.AllDone(st.txn) {
+					upd(now)
+				}
+			}
+		}
+		if next <= now {
+			return now
+		}
+	}
+	return next
 }
 
 // debugString summarizes stuck state for the deadlock error.
@@ -258,7 +391,7 @@ func (fe *frontEnd) step(now uint64) error {
 	}
 	// Write data lands in the staging units at the end of the
 	// STAGE_WRITE burst, before any broadcast due this cycle.
-	for i := range fe.state {
+	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		c := &fe.trace.Cmds[i]
 		if c.Op == memsys.Write && st.issued && !st.broadcastDone && st.stageWriteEnd == now {
@@ -268,8 +401,17 @@ func (fe *frontEnd) step(now uint64) error {
 		}
 		if st.issued && !st.broadcastDone && st.broadcastAt == now {
 			fe.board.Open(st.txn)
-			for _, bc := range fe.bcs {
+			for b, bc := range fe.bcs {
+				// Catch a lazily-skipped controller up to the present
+				// before it timestamps the request, and force its Tick
+				// this cycle so the new work is scheduled on time.
+				if lag := bc.CycleNow(); lag < now {
+					if err := bc.AdvanceIdle(now - lag); err != nil {
+						return err
+					}
+				}
 				bc.ObserveCommand(c.Op, c.V, st.txn)
+				fe.wake[b] = now
 			}
 			st.broadcastDone = true
 			fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.Broadcast, Txn: st.txn})
@@ -277,7 +419,7 @@ func (fe *frontEnd) step(now uint64) error {
 	}
 
 	// Observe transaction-complete lines and finished STAGE_READ bursts.
-	for i := range fe.state {
+	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		c := &fe.trace.Cmds[i]
 		if !st.broadcastDone || st.completed {
@@ -317,7 +459,7 @@ func (fe *frontEnd) schedule(now uint64) error {
 	}
 	// Priority 1: drain a gathered read — it frees a transaction and
 	// unblocks dependents.
-	for i := range fe.state {
+	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		if fe.trace.Cmds[i].Op != memsys.Read || !st.gathered || st.stagingStarted || st.completed {
 			continue
@@ -336,7 +478,7 @@ func (fe *frontEnd) schedule(now uint64) error {
 		return nil
 	}
 	// Priority 2: broadcast the oldest eligible command.
-	for i := range fe.state {
+	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		if st.issued {
 			continue
@@ -408,6 +550,9 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64, line []uint32) {
 	if now > fe.lastDone {
 		fe.lastDone = now
 	}
+	for fe.first < len(fe.state) && fe.state[fe.first].completed {
+		fe.first++
+	}
 }
 
 // eligible reports whether command i may be broadcast: dependences
@@ -423,7 +568,7 @@ func (fe *frontEnd) eligible(i int) (bool, error) {
 			return false, nil
 		}
 	}
-	for e := 0; e < i; e++ {
+	for e := fe.first; e < i; e++ {
 		if fe.state[e].issued {
 			continue
 		}

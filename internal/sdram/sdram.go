@@ -371,6 +371,65 @@ func (d *Device) issueStatic(r Request) error {
 	return nil
 }
 
+// NoEvent is returned by next-event queries when the device has no
+// pending obligation of that kind.
+const NoEvent = ^uint64(0)
+
+// NextDataAt returns the earliest cycle at which a read-pipeline entry
+// matures (the controller must Tick the device at that cycle to deliver
+// the data on time), or NoEvent when the pipeline is empty. This is the
+// restimer exposure the event-driven front end consults before skipping
+// idle cycles.
+func (d *Device) NextDataAt() uint64 {
+	next := uint64(NoEvent)
+	for _, e := range d.pipe {
+		if e.at < next {
+			next = e.at
+		}
+	}
+	return next
+}
+
+// NextRefreshAt returns the cycle at which the next refresh obligation
+// demands a real controller cycle: the accrual cycle of the next
+// obligation, or the current cycle when debt is already outstanding.
+// NoEvent when refresh is disabled.
+func (d *Device) NextRefreshAt() uint64 {
+	if d.static || d.timing.RefreshInterval == 0 {
+		return NoEvent
+	}
+	if d.refreshDebt > 0 {
+		return d.cycle
+	}
+	return d.nextRefresh
+}
+
+// AdvanceIdle jumps the device clock forward by delta cycles during
+// which the controller guarantees no command is issued and no read data
+// matures. Refresh obligations accrued across the span are credited
+// exactly as per-cycle Ticks would have. It is an error to skip past a
+// maturing pipeline entry — that would deliver read data late.
+func (d *Device) AdvanceIdle(delta uint64) error {
+	if delta == 0 {
+		return nil
+	}
+	if d.issued {
+		return fmt.Errorf("sdram: AdvanceIdle in cycle %d after a command was issued", d.cycle)
+	}
+	target := d.cycle + delta
+	for _, e := range d.pipe {
+		if e.at < target {
+			return fmt.Errorf("sdram: AdvanceIdle to cycle %d past read data maturing at %d", target, e.at)
+		}
+	}
+	d.cycle = target
+	for d.timing.RefreshInterval > 0 && d.cycle >= d.nextRefresh {
+		d.refreshDebt++
+		d.nextRefresh += d.timing.RefreshInterval
+	}
+	return nil
+}
+
 // Tick ends the current cycle: it returns any read data whose CAS
 // latency matured this cycle (a READ issued at cycle c delivers at cycle
 // c+CL), then advances the clock. Call exactly once per controller

@@ -90,6 +90,12 @@ type Config struct {
 	// RowPolicy selects row management: "manage-row" (default),
 	// "closed-page", "open-page", "hotrow" (Alpha 21174-style).
 	RowPolicy string
+
+	// DisableIdleSkip forces the strict tick-every-cycle simulation loop
+	// instead of event-driven idle-cycle skipping. Cycle counts are
+	// bit-identical either way; the toggle exists for cross-checking and
+	// benchmarking the skip machinery itself.
+	DisableIdleSkip bool
 }
 
 // DefaultConfig returns the paper's prototype parameters.
@@ -151,9 +157,10 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 			TRCD: c.TRCD, CL: c.CL, TRP: c.TRP,
 			RefreshInterval: c.RefreshInterval, TRFC: c.TRFC,
 		},
-		Static:    static,
-		VCWindow:  c.VCWindow,
-		RFEntries: c.RFEntries,
+		Static:          static,
+		VCWindow:        c.VCWindow,
+		RFEntries:       c.RFEntries,
+		DisableIdleSkip: c.DisableIdleSkip,
 	}
 	switch c.Policy {
 	case "", "paper":
