@@ -5,9 +5,11 @@
 //
 //	pvasim -kernel copy -stride 19 -align 0 -system pva-sdram
 //	pvasim -kernel vaxpy -stride 16 -elements 256 -system all
+//	pvasim -kernel copy -channels 4 -addrmap xor -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,9 @@ func main() {
 		align    = flag.Int("align", 0, "relative vector alignment (0-4)")
 		elements = flag.Uint("elements", 1024, "elements per application vector (multiple of 32)")
 		system   = flag.String("system", "all", "pva-sdram, cacheline-serial, gathering-serial, pva-sram, or all")
+		channels = flag.Uint("channels", 1, "memory channels (power of two)")
+		addrmap  = flag.String("addrmap", "word", "address decoder: word, line, xor")
+		jsonOut  = flag.Bool("json", false, "emit measured points as JSON instead of the table")
 	)
 	flag.Parse()
 
@@ -46,21 +51,34 @@ func main() {
 
 	p := pva.PaperParams(uint32(*stride), *align)
 	p.Elements = uint32(*elements)
+	opts := pva.SweepOptions{Channels: uint32(*channels), AddrMap: *addrmap}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds\n")
-	var base uint64
-	for i, kind := range run {
-		pt, err := pva.RunKernel(kind, *kernel, p)
+	points := make([]pva.SweepPoint, 0, len(run))
+	for _, kind := range run {
+		pt, err := pva.RunKernelWithOptions(kind, *kernel, p, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pvasim: %v\n", err)
 			os.Exit(1)
 		}
-		if i == 0 {
-			base = pt.Cycles
+		points = append(points, pt)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			fmt.Fprintf(os.Stderr, "pvasim: %v\n", err)
+			os.Exit(1)
 		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds\n")
+	base := points[0].Cycles
+	for _, pt := range points {
 		fmt.Fprintf(w, "%s\t%d (%.0f%%)\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			kind, pt.Cycles, 100*float64(pt.Cycles)/float64(base),
+			pt.System, pt.Cycles, 100*float64(pt.Cycles)/float64(base),
 			pt.Stats.SDRAMReads, pt.Stats.SDRAMWrites,
 			pt.Stats.Activates, pt.Stats.Precharges, pt.Stats.RowHits,
 			pt.Stats.BusBusyCycles, pt.Stats.TurnaroundCycles)

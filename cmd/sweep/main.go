@@ -9,12 +9,16 @@
 //	sweep -kernels copy,scale -verify
 //	sweep -elements 256   # faster, shorter vectors
 //	sweep -workers 1      # force the serial engine (0: one per CPU)
+//	sweep -json           # raw measured points as JSON
+//	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,10 +27,13 @@ import (
 
 func main() {
 	var (
-		kernelsFlag = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
-		elements    = flag.Uint("elements", 1024, "elements per application vector")
-		verify      = flag.Bool("verify", false, "replay every point against the functional reference")
-		workers     = flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
+		kernelsFlag  = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
+		elements     = flag.Uint("elements", 1024, "elements per application vector")
+		verify       = flag.Bool("verify", false, "replay every point against the functional reference")
+		workers      = flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
+		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
+		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
+		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
 	)
 	flag.Parse()
 
@@ -34,18 +41,65 @@ func main() {
 	if *kernelsFlag != "" {
 		names = strings.Split(*kernelsFlag, ",")
 	}
-
-	start := time.Now()
-	points, err := pva.SweepWithOptions(names, nil, nil, pva.SweepOptions{
+	opts := pva.SweepOptions{
 		Elements: uint32(*elements),
 		Verify:   *verify,
 		Workers:  *workers,
-	})
+		AddrMap:  *addrmap,
+	}
+
+	start := time.Now()
+	if *channelsFlag != "" {
+		channels, err := parseChannels(*channelsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		points, err := pva.ChannelSweep(names, nil, channels, nil, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			emitJSON(points)
+			return
+		}
+		pva.RenderChannelScaling(os.Stdout, points)
+		fmt.Printf("%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	points, err := pva.SweepWithOptions(names, nil, nil, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		emitJSON(points)
+		return
+	}
 	pva.Figures(os.Stdout, points)
 	fmt.Printf("%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
 		map[bool]string{true: " (verified against reference)", false: ""}[*verify])
+}
+
+func parseChannels(s string) ([]uint32, error) {
+	var out []uint32
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad channel count %q", f)
+		}
+		out = append(out, uint32(n))
+	}
+	return out, nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -56,11 +56,19 @@ func PaperStrides() []uint32 { return harness.PaperStrides() }
 // RunKernel builds the kernel's trace for the given parameters and runs
 // it on a fresh instance of the chosen system.
 func RunKernel(kind SystemKind, kernel string, p KernelParams) (SweepPoint, error) {
+	return RunKernelWithOptions(kind, kernel, p, SweepOptions{})
+}
+
+// RunKernelWithOptions is RunKernel with sweep options applied (channel
+// count, address decoder, verification); o.Elements is overridden by the
+// kernel parameters.
+func RunKernelWithOptions(kind SystemKind, kernel string, p KernelParams, o SweepOptions) (SweepPoint, error) {
 	k, err := kernels.ByName(kernel)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	r := harness.Runner{Elements: p.Elements}
+	r := o.runner()
+	r.Elements = p.Elements
 	return r.RunPoint(k, p.Stride, p.Alignment, kind)
 }
 
@@ -84,16 +92,51 @@ type SweepOptions struct {
 	// every cell runs on a fresh System, and results land at their
 	// planned index.
 	Workers int
+	// Channels selects multi-channel system variants; 0 or 1 is the
+	// paper's single-channel configuration.
+	Channels uint32
+	// AddrMap names the address decoder ("word", "line", "xor"); empty
+	// means the paper's word interleave.
+	AddrMap string
+}
+
+func (o SweepOptions) runner() harness.Runner {
+	return harness.Runner{
+		Elements: o.Elements,
+		Verify:   o.Verify,
+		Channels: o.Channels,
+		AddrMap:  o.AddrMap,
+	}
 }
 
 // SweepWithOptions measures kernels x strides x alignments x systems
 // with explicit engine options. Nil slices select the paper's full sets.
 func SweepWithOptions(kernelNames []string, strides []uint32, systems []SystemKind, o SweepOptions) ([]SweepPoint, error) {
-	r := harness.Runner{Elements: o.Elements, Verify: o.Verify}
+	r := o.runner()
 	if o.Workers == 1 {
 		return r.Sweep(kernelNames, strides, systems)
 	}
 	return r.ParallelSweep(kernelNames, strides, systems, o.Workers)
+}
+
+// ChannelPoint is one cell of the channel-scaling experiment: the
+// minimum-over-alignments execution time of an access pattern at one
+// channel count, with its speedup over the single-channel baseline.
+type ChannelPoint = harness.ChannelPoint
+
+// ChannelSweep runs the channel-scaling experiment: every selected
+// kernel and stride at each channel count, on the PVA SDRAM system by
+// default (pass systems to compare the baselines too). channels nil
+// means {1, 2, 4}; o.Channels is ignored — the channel list drives the
+// experiment — while o.AddrMap picks the decoder at every count.
+func ChannelSweep(kernelNames []string, strides []uint32, channels []uint32, systems []SystemKind, o SweepOptions) ([]ChannelPoint, error) {
+	return o.runner().ChannelScaling(kernelNames, strides, channels, systems, o.Workers)
+}
+
+// RenderChannelScaling writes the channel-scaling table for a
+// ChannelSweep's points.
+func RenderChannelScaling(w io.Writer, points []ChannelPoint) {
+	harness.RenderChannelScaling(w, points)
 }
 
 // Figures writes the text form of every evaluation figure (7-11) plus

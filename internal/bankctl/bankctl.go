@@ -38,11 +38,25 @@ import (
 	"pva/internal/trace"
 )
 
+// AddrView is a bank controller's window onto a non-default address
+// decoder: ownership of word addresses, the device word index of an
+// owned address, and the inverse used for store addressing. When a
+// Config carries no view, the controller assumes plain word interleaving
+// across Config.Banks units and uses the closed-form FirstHit/NextHit
+// mathematics; with a view it enumerates its subvector instead.
+// addrmap.BankView implements this interface.
+type AddrView interface {
+	Owns(a uint32) bool
+	BankWord(a uint32) uint32
+	Compose(bankWord uint32) uint32
+}
+
 // Config fixes one bank controller's parameters.
 type Config struct {
 	Bank      uint32         // this controller's external bank number
 	Banks     uint32         // M, total external banks
 	Geom      core.Geometry  // word-interleave hit math for M banks
+	View      AddrView       // non-nil: decode via this view instead of word interleave
 	SGeom     addr.SDRAMGeom // device geometry
 	Timing    sdram.Timing   // device timing
 	Static    bool           // idealized SRAM device (PVA SRAM system)
@@ -75,6 +89,7 @@ type request struct {
 	txn  int
 	hit  core.Hit // first index, delta, count for this bank
 	addr uint32   // global word address of the first owned element
+	idxs []uint32 // owned element indices when enumerated via an AddrView (nil: closed form)
 
 	acc        bool // "address calculation complete"
 	fhcCycles  int  // remaining FHC work when !acc
@@ -87,6 +102,12 @@ type BC struct {
 	dev   *sdram.Device
 	board *bus.Board
 	pla   *core.K1PLA
+
+	// boardBank is this controller's line on the transaction-complete
+	// board. It defaults to cfg.Bank; multi-channel front ends keep one
+	// board per channel and renumber the lines 0..M-1 (SetBoardBank)
+	// while cfg.Bank stays the controller's global interleave unit.
+	boardBank uint32
 
 	rqf []request // Register File managed as a queue (head = oldest)
 
@@ -119,16 +140,25 @@ func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
 	} else {
 		dev = sdram.New(cfg.SGeom, cfg.Timing, store, cfg.Bank, cfg.Banks)
 	}
+	if cfg.View != nil {
+		dev.SetCompose(cfg.View.Compose)
+	}
 	bc := &BC{
-		cfg:   cfg,
-		dev:   dev,
-		board: board,
-		pla:   core.NewK1PLA(cfg.Geom),
+		cfg:       cfg,
+		dev:       dev,
+		board:     board,
+		pla:       core.NewK1PLA(cfg.Geom),
+		boardBank: cfg.Bank,
 	}
 	bc.sched = newScheduler(bc)
 	bc.su = newStaging(cfg.Banks)
 	return bc
 }
+
+// SetBoardBank renumbers this controller's transaction-complete line
+// (default: cfg.Bank). Multi-channel front ends use per-channel boards
+// with lines 0..M-1 regardless of the controller's global unit number.
+func (bc *BC) SetBoardBank(b uint32) { bc.boardBank = b }
 
 // Device exposes the SDRAM device (stats, inspection).
 func (bc *BC) Device() *sdram.Device { return bc.dev }
@@ -152,13 +182,19 @@ func (bc *BC) Busy() bool {
 // and queues the request. Banks owning nothing deassert the transaction
 // line immediately.
 func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
-	hit := bc.subVector(v)
+	var idxs []uint32
+	var hit core.Hit
+	if bc.cfg.View != nil {
+		idxs, hit = bc.enumerate(v)
+	} else {
+		hit = bc.subVector(v)
+	}
 	if hit.Count == 0 {
 		bc.stats.NoHitCommands++
 		if op == memsys.Write {
 			bc.su.dropWrite(txn)
 		}
-		bc.board.Done(bc.cfg.Bank, txn)
+		bc.board.Done(bc.boardBank, txn)
 		return
 	}
 	bc.stats.Requests++
@@ -168,7 +204,7 @@ func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
 		// condition.
 		panic(fmt.Sprintf("bankctl: bank %d register file overflow", bc.cfg.Bank))
 	}
-	r := request{op: op, v: v, txn: txn, hit: hit, enqueuedAt: bc.cycle}
+	r := request{op: op, v: v, txn: txn, hit: hit, idxs: idxs, enqueuedAt: bc.cycle}
 	if pow2(v.Stride) {
 		// FHP fast path: first-hit address is base + (first << log2(S)),
 		// a shift and add completed within the broadcast cycle.
@@ -222,7 +258,7 @@ func (bc *BC) Tick() error {
 		txn := int(rr.Tag >> 32)
 		idx := uint32(rr.Tag)
 		if bc.su.putRead(txn, idx, rr.Data) {
-			bc.board.Done(bc.cfg.Bank, txn)
+			bc.board.Done(bc.boardBank, txn)
 		}
 	}
 	bc.cycle++
@@ -360,6 +396,35 @@ func (bc *BC) DebugString() string {
 	}
 	s += fmt.Sprintf(" pol=%v", bc.sched.polarity)
 	return s
+}
+
+// bankWord maps an owned global word address to the device word index:
+// via the view when one is installed, else by stripping the interleave
+// bits.
+func (bc *BC) bankWord(a uint32) uint32 {
+	if bc.cfg.View != nil {
+		return bc.cfg.View.BankWord(a)
+	}
+	return a >> bc.cfg.Geom.Log2Banks()
+}
+
+// enumerate is the FirstHit predictor for decoders without closed-form
+// hit math: it walks the vector once and records the element indices
+// this bank owns. In hardware this is the same snoop comparators
+// evaluated per element instead of the stride PLA; the timing model
+// (FHP within the broadcast cycle for power-of-two strides, the FHC
+// multiply-add otherwise) is kept identical.
+func (bc *BC) enumerate(v core.Vector) ([]uint32, core.Hit) {
+	var idxs []uint32
+	for i := uint32(0); i < v.Length; i++ {
+		if bc.cfg.View.Owns(v.Addr(i)) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil, core.Hit{First: core.NoHit, Delta: 1}
+	}
+	return idxs, core.Hit{First: idxs[0], Delta: 1, Count: uint32(len(idxs))}
 }
 
 // subVector evaluates the FirstHit predictor for this bank via the

@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"pva/internal/addrmap"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
 )
@@ -26,14 +27,30 @@ import (
 type CacheLineSerial struct {
 	LineWords uint32 // words per cache line (32)
 	FillCost  uint64 // cycles per line access (20)
-	store     *memsys.Store
-	name      string
+	// Channels spreads line fills round-robin across memory channels
+	// (fill i of a command goes to channel lineIndex mod Channels); a
+	// command's time is its busiest channel's share. A line-fill system
+	// only parallelizes at line granularity, so this models the natural
+	// line-interleaved channel map regardless of the PVA decoder choice.
+	// 0 or 1: the paper's single-channel system.
+	Channels uint32
+	store    *memsys.Store
+	name     string
 }
 
 // NewCacheLineSerial returns the paper's configuration: 128-byte lines,
 // 20 cycles per fill.
 func NewCacheLineSerial() *CacheLineSerial {
 	return &CacheLineSerial{LineWords: 32, FillCost: 20, store: memsys.NewStore(), name: "cacheline-serial"}
+}
+
+// NewCacheLineSerialChannels returns the line-fill system with fills
+// spread over the given number of memory channels; channels <= 1 is the
+// paper's system.
+func NewCacheLineSerialChannels(channels uint32) *CacheLineSerial {
+	s := NewCacheLineSerial()
+	s.Channels = channels
+	return s
 }
 
 // Name implements memsys.System.
@@ -53,7 +70,7 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	for i, c := range t.Cmds {
 		touched := s.linesTouched(c)
 		res.Stats.LineFills += touched
-		res.Cycles += touched * s.FillCost
+		res.Cycles += s.fillTime(c, touched)
 		switch c.Op {
 		case memsys.Read:
 			lines[i] = s.store.Gather(c.V)
@@ -69,6 +86,22 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	}
 	res.Stats.BusBusyCycles = res.Cycles
 	return res, nil
+}
+
+// fillTime is a command's execution time: serial fills on one channel,
+// or — with channels — the busiest channel's share when the command's
+// distinct lines round-robin across channels. Commands stay strictly
+// serial with respect to each other (an in-order system), so channel
+// parallelism only overlaps fills within one command.
+func (s *CacheLineSerial) fillTime(c memsys.VectorCmd, touched uint64) uint64 {
+	if s.Channels <= 1 {
+		return touched * s.FillCost
+	}
+	per := touched / uint64(s.Channels)
+	if touched%uint64(s.Channels) != 0 {
+		per++
+	}
+	return per * s.FillCost
 }
 
 // linesTouched counts the distinct cache lines a vector command covers.
@@ -103,13 +136,30 @@ func (s *CacheLineSerial) linesTouched(c memsys.VectorCmd) uint64 {
 // GatheringSerial is the pipelined serial gathering system.
 type GatheringSerial struct {
 	Timing sdram.Timing // per-command startup latencies
-	store  *memsys.Store
+	// Decoder, when set, splits each command's elements across the
+	// decoder's memory channels: the command expands its per-channel
+	// subvectors in parallel (one element per cycle per channel), so its
+	// time is startup plus the busiest channel's element count. nil: the
+	// paper's single-channel system.
+	Decoder addrmap.Decoder
+	store   *memsys.Store
 }
 
 // NewGatheringSerial returns the paper's configuration (2-cycle RAS,
 // CAS, precharge).
 func NewGatheringSerial() *GatheringSerial {
 	return &GatheringSerial{Timing: sdram.PaperTiming(), store: memsys.NewStore()}
+}
+
+// NewGatheringSerialChannels returns the gathering system expanding each
+// command across dec's channels in parallel; a nil or single-channel
+// decoder is the paper's system.
+func NewGatheringSerialChannels(dec addrmap.Decoder) *GatheringSerial {
+	s := NewGatheringSerial()
+	if dec != nil && dec.Channels() > 1 {
+		s.Decoder = dec
+	}
+	return s
 }
 
 // Name implements memsys.System.
@@ -129,7 +179,7 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	lines := make([][]uint32, len(t.Cmds))
 	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
 	for i, c := range t.Cmds {
-		res.Cycles += startup + uint64(c.V.Length)
+		res.Cycles += startup + s.expandTime(c)
 		res.Stats.Precharges++
 		res.Stats.Activates++
 		switch c.Op {
@@ -149,4 +199,21 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	}
 	res.Stats.BusBusyCycles = res.Cycles
 	return res, nil
+}
+
+// expandTime is the cycles a command spends expanding addresses: one
+// element per cycle on one channel, or — with a multi-channel decoder —
+// the busiest channel's element count, since each channel expands its
+// own subvector in parallel.
+func (s *GatheringSerial) expandTime(c memsys.VectorCmd) uint64 {
+	if s.Decoder == nil || s.Decoder.Channels() <= 1 {
+		return uint64(c.V.Length)
+	}
+	var max uint64
+	for _, h := range addrmap.SplitVector(s.Decoder, c.V) {
+		if n := uint64(h.Count); n > max {
+			max = n
+		}
+	}
+	return max
 }

@@ -162,6 +162,21 @@ func (b *Board) Alloc() (int, bool) {
 	return 0, false
 }
 
+// Claim marks txn allocated without choosing it: multi-channel front
+// ends keep one board per channel in lockstep by Alloc'ing on the first
+// board and Claiming the same ID on the rest. Claiming an outstanding
+// transaction is a protocol violation.
+func (b *Board) Claim(txn int) {
+	if txn < 0 || txn >= MaxTransactions {
+		panic(fmt.Sprintf("bus: txn %d out of range", txn))
+	}
+	if b.inUse[txn] {
+		panic(fmt.Sprintf("bus: claiming outstanding txn %d", txn))
+	}
+	b.inUse[txn] = true
+	b.pending[txn] = 0
+}
+
 // Open asserts the completion line for txn: every bank is now busy with
 // it (they all observed the broadcast and will each deassert once done).
 func (b *Board) Open(txn int) {

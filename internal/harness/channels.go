@@ -1,0 +1,151 @@
+// The channel-scaling experiment: how execution time falls as the PVA
+// back end is replicated across memory channels. Each cell reruns the
+// alignment sweep at one channel count and keeps the minimum time,
+// matching the paper's normalization, then reports speedup relative to
+// the first channel count measured (the single-channel baseline by
+// default).
+
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChannelPoint is one cell of the channel-scaling experiment.
+type ChannelPoint struct {
+	Kernel   string     `json:"kernel"`
+	Stride   uint32     `json:"stride"`
+	System   SystemKind `json:"system"`
+	Channels uint32     `json:"channels"`
+	// Cycles is the minimum execution time over the alignment sweep.
+	Cycles uint64 `json:"cycles"`
+	// Speedup is Cycles of the first measured channel count for the same
+	// (kernel, stride, system) divided by this cell's Cycles.
+	Speedup float64 `json:"speedup"`
+}
+
+// ChannelScaling measures every (kernel, stride, system) pattern at each
+// channel count and reports min-over-alignments times with speedups.
+// kernelNames/strides default as in Sweep; channels nil means {1, 2, 4};
+// systems nil means just the PVA SDRAM system. The runner's AddrMap
+// selects the decoder at every channel count; its Channels field is
+// overridden per measurement.
+func (r Runner) ChannelScaling(kernelNames []string, strides []uint32, channels []uint32, systems []SystemKind, workers int) ([]ChannelPoint, error) {
+	if channels == nil {
+		channels = []uint32{1, 2, 4}
+	}
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("harness: empty channel list")
+	}
+	if systems == nil {
+		systems = []SystemKind{PVASDRAM}
+	}
+	base := make(map[Key]uint64)
+	var out []ChannelPoint
+	for ci, c := range channels {
+		rc := r
+		rc.Channels = c
+		points, err := rc.ParallelSweep(kernelNames, strides, systems, workers)
+		if err != nil {
+			return nil, err
+		}
+		coll := Collate(points)
+		for _, k := range sortedKeys(coll) {
+			cp := ChannelPoint{
+				Kernel:   k.Kernel,
+				Stride:   k.Stride,
+				System:   k.System,
+				Channels: c,
+				Cycles:   coll[k].Min,
+			}
+			if ci == 0 {
+				base[k] = cp.Cycles
+			}
+			if b := base[k]; b != 0 && cp.Cycles != 0 {
+				cp.Speedup = float64(b) / float64(cp.Cycles)
+			}
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// sortedKeys returns a collated sweep's keys in canonical report order.
+func sortedKeys(coll map[Key]Range) []Key {
+	keys := make([]Key, 0, len(coll))
+	for k := range coll {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Stride != b.Stride {
+			return a.Stride < b.Stride
+		}
+		return a.System < b.System
+	})
+	return keys
+}
+
+// RenderChannelScaling writes the channel-scaling table: one row per
+// (kernel, stride, system) pattern, one column per channel count, each
+// cell the min-over-alignments cycles with the speedup over the baseline
+// channel count in parentheses.
+func RenderChannelScaling(w io.Writer, points []ChannelPoint) {
+	if len(points) == 0 {
+		return
+	}
+	var chans []uint32
+	seenCh := map[uint32]bool{}
+	for _, p := range points {
+		if !seenCh[p.Channels] {
+			seenCh[p.Channels] = true
+			chans = append(chans, p.Channels)
+		}
+	}
+	cells := make(map[Key]map[uint32]ChannelPoint)
+	for _, p := range points {
+		k := Key{Kernel: p.Kernel, Stride: p.Stride, System: p.System}
+		if cells[k] == nil {
+			cells[k] = make(map[uint32]ChannelPoint)
+		}
+		cells[k][p.Channels] = p
+	}
+	keys := make([]Key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Stride != b.Stride {
+			return a.Stride < b.Stride
+		}
+		return a.System < b.System
+	})
+	fmt.Fprintf(w, "channel scaling — min-over-alignments cycles (speedup vs %d channel)\n", chans[0])
+	fmt.Fprintf(w, "%10s %8s %18s", "kernel", "stride", "system")
+	for _, c := range chans {
+		fmt.Fprintf(w, " %18s", fmt.Sprintf("%d ch", c))
+	}
+	fmt.Fprintln(w)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%10s %8d %18s", k.Kernel, k.Stride, k.System)
+		for _, c := range chans {
+			p, ok := cells[k][c]
+			if !ok {
+				fmt.Fprintf(w, " %18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %18s", fmt.Sprintf("%d (%.2fx)", p.Cycles, p.Speedup))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pva/internal/addrmap"
 	"pva/internal/baseline"
 	"pva/internal/kernels"
 	"pva/internal/memsys"
@@ -50,6 +51,12 @@ func (k SystemKind) String() string {
 	}
 }
 
+// MarshalJSON emits the system's report name, so JSON output reads
+// "pva-sdram" rather than an enum ordinal.
+func (k SystemKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
 // NewSystem constructs a fresh instance of a memory system.
 func NewSystem(k SystemKind) (memsys.System, error) {
 	switch k {
@@ -71,12 +78,14 @@ func PaperStrides() []uint32 { return []uint32{1, 2, 4, 8, 16, 19} }
 
 // Point is one measured experimental point.
 type Point struct {
-	Kernel    string
-	Stride    uint32
-	Alignment int
-	System    SystemKind
-	Cycles    uint64
-	Stats     memsys.Stats
+	Kernel    string         `json:"kernel"`
+	Stride    uint32         `json:"stride"`
+	Alignment int            `json:"alignment"`
+	System    SystemKind     `json:"system"`
+	Channels  uint32         `json:"channels"`
+	Cycles    uint64         `json:"cycles"`
+	Stats     memsys.Stats   `json:"stats"`
+	PerChan   []memsys.Stats `json:"channel_stats,omitempty"`
 }
 
 // Runner configures a sweep.
@@ -87,6 +96,57 @@ type Runner struct {
 	// on any data divergence (used by the integration tests; the
 	// cycle-level models are self-checking either way).
 	Verify bool
+	// Channels selects multi-channel system variants; 0 or 1 is the
+	// paper's single-channel configuration.
+	Channels uint32
+	// AddrMap names the address decoder ("word", "line", "xor"); empty
+	// means the paper's word interleave.
+	AddrMap string
+}
+
+// channels normalizes the channel count (0 means 1).
+func (r Runner) channels() uint32 {
+	if r.Channels == 0 {
+		return 1
+	}
+	return r.Channels
+}
+
+// newSystem constructs the system for one point, honoring the runner's
+// channel count and address decoder. The single-channel word-interleave
+// case takes the exact legacy construction path, keeping it bit-identical
+// to the paper configuration by code identity rather than by argument.
+func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
+	if r.channels() <= 1 && (r.AddrMap == "" || r.AddrMap == "word") {
+		return NewSystem(k)
+	}
+	switch k {
+	case PVASDRAM, PVASRAM:
+		cfg := pvaunit.PaperConfig()
+		if k == PVASRAM {
+			cfg = pvaunit.SRAMConfig()
+		}
+		dec, err := addrmap.New(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Channels = r.channels()
+		cfg.Decoder = dec
+		return pvaunit.New(cfg)
+	case CacheLineSerial:
+		// A line-fill system parallelizes at line granularity whatever the
+		// PVA decoder is; only the channel count matters.
+		return baseline.NewCacheLineSerialChannels(r.channels()), nil
+	case GatheringSerial:
+		cfg := pvaunit.PaperConfig()
+		dec, err := addrmap.New(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
+		if err != nil {
+			return nil, err
+		}
+		return baseline.NewGatheringSerialChannels(dec), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown system %d", int(k))
+	}
 }
 
 func (r Runner) params(stride uint32, alignment int) kernels.Params {
@@ -100,7 +160,7 @@ func (r Runner) params(stride uint32, alignment int) kernels.Params {
 // RunPoint measures one (kernel, stride, alignment, system) cell.
 func (r Runner) RunPoint(kernel kernels.Kernel, stride uint32, alignment int, kind SystemKind) (Point, error) {
 	trace := kernel.Build(r.params(stride, alignment))
-	sys, err := NewSystem(kind)
+	sys, err := r.newSystem(kind)
 	if err != nil {
 		return Point{}, err
 	}
@@ -120,8 +180,10 @@ func (r Runner) RunPoint(kernel kernels.Kernel, stride uint32, alignment int, ki
 		Stride:    stride,
 		Alignment: alignment,
 		System:    kind,
+		Channels:  r.channels(),
 		Cycles:    res.Cycles,
 		Stats:     res.Stats,
+		PerChan:   res.ChannelStats,
 	}, nil
 }
 

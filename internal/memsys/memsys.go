@@ -86,6 +86,10 @@ func (t Trace) Validate() error {
 				return fmt.Errorf("memsys: read cmd %d carries write data", i)
 			}
 		case Write:
+			// Exactly one data source: Compute or preset Data, not both.
+			if c.Compute != nil && c.Data != nil {
+				return fmt.Errorf("memsys: write cmd %d carries both Compute and preset Data", i)
+			}
 			if c.Compute == nil && uint32(len(c.Data)) != c.V.Length {
 				return fmt.Errorf("memsys: write cmd %d has %d data words, want %d", i, len(c.Data), c.V.Length)
 			}
@@ -100,14 +104,14 @@ func (t Trace) Validate() error {
 // zero when the concept does not apply (an SRAM system has no row
 // activity, a serial system no parallel banks).
 type Stats struct {
-	BusBusyCycles    uint64 // cycles the shared bus carried a command or data
-	TurnaroundCycles uint64 // bus-polarity turnaround cycles inserted
-	SDRAMReads       uint64 // word reads issued to memory devices
-	SDRAMWrites      uint64 // word writes issued to memory devices
-	Activates        uint64 // row activate operations
-	Precharges       uint64 // precharge operations (incl. auto-precharge)
-	RowHits          uint64 // reads/writes that hit an already-open row
-	LineFills        uint64 // whole cache-line fills (cache-line serial system)
+	BusBusyCycles    uint64 `json:"bus_busy_cycles"`   // cycles the shared bus carried a command or data
+	TurnaroundCycles uint64 `json:"turnaround_cycles"` // bus-polarity turnaround cycles inserted
+	SDRAMReads       uint64 `json:"sdram_reads"`       // word reads issued to memory devices
+	SDRAMWrites      uint64 `json:"sdram_writes"`      // word writes issued to memory devices
+	Activates        uint64 `json:"activates"`         // row activate operations
+	Precharges       uint64 `json:"precharges"`        // precharge operations (incl. auto-precharge)
+	RowHits          uint64 `json:"row_hits"`          // reads/writes that hit an already-open row
+	LineFills        uint64 `json:"line_fills"`        // whole cache-line fills (cache-line serial system)
 }
 
 // Result of executing a trace on a memory system.
@@ -119,6 +123,10 @@ type Result struct {
 	// nil entries for writes), the dense gathered line.
 	ReadData [][]uint32
 	Stats    Stats
+	// ChannelStats breaks Stats down per memory channel (one entry per
+	// channel for the multi-channel PVA systems; nil for systems with no
+	// channel concept).
+	ChannelStats []Stats
 }
 
 // System is a memory system that executes vector command traces.

@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -92,27 +93,92 @@ func TestScatterOverlapLastWins(t *testing.T) {
 }
 
 func TestTraceValidate(t *testing.T) {
-	good := Trace{Cmds: []VectorCmd{
-		{Op: Read, V: core.Vector{Base: 0, Stride: 1, Length: 4}},
-		{Op: Write, V: core.Vector{Base: 64, Stride: 1, Length: 4}, Data: []uint32{1, 2, 3, 4}},
-		{Op: Write, V: core.Vector{Base: 128, Stride: 1, Length: 4}, DependsOn: []int{0},
-			Compute: func(d [][]uint32) []uint32 { return d[0] }},
-	}}
-	if err := good.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	bad := []Trace{
-		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 0}}}},
-		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{0}}}},
-		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{5}}}},
-		{Cmds: []VectorCmd{{Op: Write, V: core.Vector{Length: 4}, Data: []uint32{1}}}},
-		{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, Data: []uint32{1}}}},
-		{Cmds: []VectorCmd{{Op: Op(9), V: core.Vector{Length: 1}}}},
-	}
-	for i, tr := range bad {
-		if err := tr.Validate(); err == nil {
-			t.Errorf("bad trace %d accepted", i)
-		}
+	passthrough := func(d [][]uint32) []uint32 { return d[0] }
+	for _, tc := range []struct {
+		name    string
+		trace   Trace
+		wantErr string // substring of the error; empty means valid
+	}{
+		{
+			name: "valid mixed trace",
+			trace: Trace{Cmds: []VectorCmd{
+				{Op: Read, V: core.Vector{Base: 0, Stride: 1, Length: 4}},
+				{Op: Write, V: core.Vector{Base: 64, Stride: 1, Length: 4}, Data: []uint32{1, 2, 3, 4}},
+				{Op: Write, V: core.Vector{Base: 128, Stride: 1, Length: 4}, DependsOn: []int{0},
+					Compute: passthrough},
+			}},
+		},
+		{
+			name:  "empty trace",
+			trace: Trace{},
+		},
+		{
+			name:    "zero-length vector",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 0}}}},
+			wantErr: "zero length",
+		},
+		{
+			name:    "self dependency",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{0}}}},
+			wantErr: "out of order",
+		},
+		{
+			name:    "forward dependency",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{5}}}},
+			wantErr: "out of order",
+		},
+		{
+			name:    "negative dependency",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, DependsOn: []int{-1}}}},
+			wantErr: "out of order",
+		},
+		{
+			name:    "write data length mismatch",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Write, V: core.Vector{Length: 4}, Data: []uint32{1}}}},
+			wantErr: "has 1 data words, want 4",
+		},
+		{
+			name:    "write with no data source",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Write, V: core.Vector{Length: 4}}}},
+			wantErr: "has 0 data words, want 4",
+		},
+		{
+			name: "write with both Compute and Data",
+			trace: Trace{Cmds: []VectorCmd{{Op: Write, V: core.Vector{Length: 1},
+				Data: []uint32{1}, Compute: passthrough}}},
+			wantErr: "both Compute and preset Data",
+		},
+		{
+			name:    "read carrying write data",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, Data: []uint32{1}}}},
+			wantErr: "carries write data",
+		},
+		{
+			name:    "read carrying a compute",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Read, V: core.Vector{Length: 1}, Compute: passthrough}}},
+			wantErr: "carries write data",
+		},
+		{
+			name:    "unknown op",
+			trace:   Trace{Cmds: []VectorCmd{{Op: Op(9), V: core.Vector{Length: 1}}}},
+			wantErr: "unknown op",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.trace.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid trace rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed trace accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

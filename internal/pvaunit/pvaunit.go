@@ -1,14 +1,14 @@
 // Package pvaunit assembles the complete Parallel Vector Access memory
-// system of Figure 1: a memory-controller front end, the split-
-// transaction vector bus, and one bank controller per word-interleaved
-// SDRAM bank.
+// system of Figure 1: a memory-controller front end, one split-
+// transaction vector bus per memory channel, and one bank controller per
+// SDRAM bank behind each bus.
 //
 // The front end models the Vector Command Unit driven by an infinitely
 // fast CPU (the Section 6.2 methodology): it issues each vector command
 // as soon as (i) its data dependences have completed, (ii) no earlier
 // un-broadcast command conflicts with it, (iii) a transaction ID is free
-// (eight outstanding), and (iv) the bus is free. The bus protocol follows
-// Section 5.2.6 exactly:
+// (eight outstanding), and (iv) the target channel's bus is free. The bus
+// protocol follows Section 5.2.6 exactly:
 //
 //	read:  VEC_READ broadcast (1 cycle) ... banks gather ... transaction-
 //	       complete line deasserts ... STAGE_READ (1 cycle) + 16 data
@@ -21,12 +21,25 @@
 // one bus turnaround cycle; the 128-bit BC bus trick (alternate 64-bit
 // halves) makes BC-to-BC handoffs inside a burst free, which is why a
 // whole 128-byte line stages in exactly 16 data cycles.
+//
+// Multi-channel operation generalizes the paper's single-channel
+// prototype: the channel dispatcher splits every broadcast vector into
+// per-channel subvectors (the FirstHit/NextHit closed forms applied at
+// channel granularity where the decoder allows it) and runs the full bus
+// protocol independently per channel — each channel stages only its own
+// elements, so a C-channel system moves a line in 1/C of the data
+// cycles. One global pool of eight transaction IDs spans all channels,
+// mirrored onto each channel's transaction-complete board; a command
+// retires when every channel holding elements has deasserted its line.
+// With Channels=1 and the default word-interleave decoder, every loop
+// below collapses to the single-channel prototype, cycle for cycle.
 package pvaunit
 
 import (
 	"fmt"
 
 	"pva/internal/addr"
+	"pva/internal/addrmap"
 	"pva/internal/bankctl"
 	"pva/internal/bus"
 	"pva/internal/core"
@@ -37,7 +50,8 @@ import (
 
 // Config describes a PVA memory system.
 type Config struct {
-	Banks     uint32         // M, power of two (prototype: 16)
+	Banks     uint32         // M, banks per channel, power of two (prototype: 16)
+	Channels  uint32         // memory channels, power of two (prototype: 1); 0 = 1
 	LineWords uint32         // words per cache line / max vector length (32)
 	SGeom     addr.SDRAMGeom // per-bank device geometry
 	Timing    sdram.Timing   // device timing
@@ -49,6 +63,12 @@ type Config struct {
 	Observer  trace.Observer // optional event sink (nil: tracing off)
 	MaxCycles uint64         // deadlock guard; 0 = default
 
+	// Decoder is the address-decode function mapping word addresses to
+	// (channel, bank, bank word). nil selects word interleaving across
+	// Channels x Banks, the paper's organization. A non-nil decoder must
+	// agree with Channels and Banks.
+	Decoder addrmap.Decoder
+
 	// DisableIdleSkip forces the strict tick-every-cycle loop. By default
 	// the front end advances the clock directly to the next event cycle
 	// whenever every bank controller and bus timer is provably idle;
@@ -57,12 +77,13 @@ type Config struct {
 	DisableIdleSkip bool
 }
 
-// PaperConfig returns the Section 5.1 prototype: 16 banks of
-// word-interleaved SDRAM, 128-byte lines, four internal banks per
+// PaperConfig returns the Section 5.1 prototype: one channel of 16
+// word-interleaved SDRAM banks, 128-byte lines, four internal banks per
 // device, two-cycle RAS/CAS/precharge.
 func PaperConfig() Config {
 	return Config{
 		Banks:     16,
+		Channels:  1,
 		LineWords: 32,
 		SGeom:     addr.MustSDRAMGeom(4, 512, 8192),
 		Timing:    sdram.PaperTiming(),
@@ -92,6 +113,26 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.LineWords == 0 {
 		return nil, fmt.Errorf("pvaunit: line words must be positive")
+	}
+	if cfg.Decoder != nil {
+		if cfg.Channels != 0 && cfg.Channels != cfg.Decoder.Channels() {
+			return nil, fmt.Errorf("pvaunit: Channels=%d but decoder %q has %d",
+				cfg.Channels, cfg.Decoder.Name(), cfg.Decoder.Channels())
+		}
+		if cfg.Decoder.Banks() != cfg.Banks {
+			return nil, fmt.Errorf("pvaunit: Banks=%d but decoder %q has %d",
+				cfg.Banks, cfg.Decoder.Name(), cfg.Decoder.Banks())
+		}
+		cfg.Channels = cfg.Decoder.Channels()
+	} else {
+		if cfg.Channels == 0 {
+			cfg.Channels = 1
+		}
+		dec, err := addrmap.NewWordInterleave(cfg.Channels, cfg.Banks)
+		if err != nil {
+			return nil, fmt.Errorf("pvaunit: %w", err)
+		}
+		cfg.Decoder = dec
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 50_000_000
@@ -125,19 +166,28 @@ func (s *System) Name() string {
 // Peek implements memsys.System.
 func (s *System) Peek(a uint32) uint32 { return s.store.Read(a) }
 
+// chanState tracks one command's progress on one memory channel.
+type chanState struct {
+	active         bool   // this channel owns at least one element
+	count          uint32 // elements this channel owns
+	reserved       bool   // this channel's broadcast bus tenure is reserved
+	broadcastDone  bool   // this channel's BCs observed the VEC_* command
+	broadcastAt    uint64
+	stageWriteEnd  uint64 // write: when the staged line lands in this channel's SUs
+	gathered       bool   // read: this channel's transaction-complete line deasserted
+	stagingStarted bool   // read: STAGE_READ reserved on this channel
+	stageReadEnd   uint64
+	done           bool // this channel's share of the command has retired
+}
+
 // cmdState tracks one trace command through the bus protocol.
 type cmdState struct {
-	txn            int
-	issued         bool // bus tenure reserved (txn claimed)
-	broadcastDone  bool // BCs have observed the VEC_* command
-	broadcastAt    uint64
-	stageWriteEnd  uint64 // write: when the staged line lands in the SUs
-	gathered       bool   // read: transaction-complete line deasserted
-	stagingStarted bool   // read: STAGE_READ reserved
-	stageReadEnd   uint64
-	completed      bool
-	completedAt    uint64
-	line           []uint32 // read: gathered data; write: staged data
+	txn         int
+	issued      bool // transaction ID claimed (on every channel's board)
+	completed   bool
+	completedAt uint64
+	line        []uint32    // read: gathered data; write: staged data
+	ch          []chanState // per channel
 }
 
 // Run implements memsys.System.
@@ -145,68 +195,107 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 	if err := t.Validate(); err != nil {
 		return memsys.Result{}, err
 	}
-	board := bus.NewBoard(s.cfg.Banks)
-	vbus := bus.New()
-	geom := core.MustGeometry(s.cfg.Banks)
+	C := s.cfg.Channels
+	M := s.cfg.Banks
+	dec := s.cfg.Decoder
+	// Decoders whose combined (channel, bank) selection is plain word
+	// interleaving keep the paper's closed-form hit math: bank b of
+	// channel ch is interleave unit b*C+ch of a C*M-unit system. Other
+	// decoders hand each controller a BankView and enumerate.
+	var geom core.Geometry
+	hm, closedForm := dec.(addrmap.HitMath)
+	if closedForm {
+		geom = hm.HitGeometry()
+	}
 	// Stateful row policies (the hot-row predictor) train across
 	// accesses; a run must not inherit the previous run's history, or
 	// repeated Runs on one System would time differently.
 	if r, ok := s.cfg.RowPolicy.(interface{ Reset() }); ok {
 		r.Reset()
 	}
-	bcs := make([]*bankctl.BC, s.cfg.Banks)
-	for b := uint32(0); b < s.cfg.Banks; b++ {
-		bcs[b] = bankctl.New(bankctl.Config{
-			Bank:      b,
-			Banks:     s.cfg.Banks,
-			Geom:      geom,
-			SGeom:     s.cfg.SGeom,
-			Timing:    s.cfg.Timing,
-			Static:    s.cfg.Static,
-			VCWindow:  s.cfg.VCWindow,
-			RFEntries: s.cfg.RFEntries,
-			FHCDelay:  2,
-			Policy:    s.cfg.Policy,
-			Observer:  s.cfg.Observer,
-		}, s.store, board)
-		if s.cfg.RowPolicy != nil {
-			bcs[b].SetRowPolicy(s.cfg.RowPolicy)
+	boards := make([]*bus.Board, C)
+	buses := make([]*bus.Bus, C)
+	bcs := make([][]*bankctl.BC, C)
+	for ch := uint32(0); ch < C; ch++ {
+		boards[ch] = bus.NewBoard(M)
+		buses[ch] = bus.New()
+		bcs[ch] = make([]*bankctl.BC, M)
+		for b := uint32(0); b < M; b++ {
+			bcfg := bankctl.Config{
+				SGeom:     s.cfg.SGeom,
+				Timing:    s.cfg.Timing,
+				Static:    s.cfg.Static,
+				VCWindow:  s.cfg.VCWindow,
+				RFEntries: s.cfg.RFEntries,
+				Policy:    s.cfg.Policy,
+				Observer:  s.cfg.Observer,
+			}
+			if closedForm {
+				bcfg.Bank = b*C + ch
+				bcfg.Banks = C * M
+				bcfg.Geom = geom
+			} else {
+				bcfg.Bank = ch*M + b
+				bcfg.Banks = M
+				bcfg.Geom = core.MustGeometry(M)
+				bcfg.View = addrmap.BankView{D: dec, Channel: ch, Bank: b}
+			}
+			bcfg.FHCDelay = 2
+			bc := bankctl.New(bcfg, s.store, boards[ch])
+			bc.SetBoardBank(b)
+			if s.cfg.RowPolicy != nil {
+				bc.SetRowPolicy(s.cfg.RowPolicy)
+			}
+			bcs[ch][b] = bc
 		}
 	}
 	fe := &frontEnd{
-		cfg:   s.cfg,
-		trace: t,
-		state: make([]cmdState, len(t.Cmds)),
-		board: board,
-		bus:   vbus,
-		bcs:   bcs,
+		cfg:    s.cfg,
+		trace:  t,
+		state:  make([]cmdState, len(t.Cmds)),
+		boards: boards,
+		buses:  buses,
+		bcs:    bcs,
 	}
 	res, err := fe.run()
 	if err != nil {
 		return memsys.Result{}, err
 	}
-	// Fold device and controller counters into the common stats.
-	for _, bc := range bcs {
-		ds := bc.Device().Stats()
-		res.Stats.SDRAMReads += ds.Reads
-		res.Stats.SDRAMWrites += ds.Writes
-		res.Stats.Activates += ds.Activates
-		res.Stats.Precharges += ds.Precharges
-		res.Stats.RowHits += ds.RowHits
+	// Fold device and bus counters into the common stats, keeping the
+	// per-channel breakdown.
+	res.ChannelStats = make([]memsys.Stats, C)
+	for ch := range bcs {
+		cs := &res.ChannelStats[ch]
+		for _, bc := range bcs[ch] {
+			ds := bc.Device().Stats()
+			cs.SDRAMReads += ds.Reads
+			cs.SDRAMWrites += ds.Writes
+			cs.Activates += ds.Activates
+			cs.Precharges += ds.Precharges
+			cs.RowHits += ds.RowHits
+		}
+		cs.BusBusyCycles = buses[ch].BusyCycles()
+		cs.TurnaroundCycles = buses[ch].TurnaroundCycles()
+		res.Stats.SDRAMReads += cs.SDRAMReads
+		res.Stats.SDRAMWrites += cs.SDRAMWrites
+		res.Stats.Activates += cs.Activates
+		res.Stats.Precharges += cs.Precharges
+		res.Stats.RowHits += cs.RowHits
+		res.Stats.BusBusyCycles += cs.BusBusyCycles
+		res.Stats.TurnaroundCycles += cs.TurnaroundCycles
 	}
-	res.Stats.BusBusyCycles = vbus.BusyCycles()
-	res.Stats.TurnaroundCycles = vbus.TurnaroundCycles()
 	return res, nil
 }
 
-// frontEnd is the per-run protocol engine.
+// frontEnd is the per-run protocol engine: the Vector Command Unit plus
+// the channel dispatcher.
 type frontEnd struct {
-	cfg   Config
-	trace memsys.Trace
-	state []cmdState
-	board *bus.Board
-	bus   *bus.Bus
-	bcs   []*bankctl.BC
+	cfg    Config
+	trace  memsys.Trace
+	state  []cmdState
+	boards []*bus.Board // per channel
+	buses  []*bus.Bus   // per channel
+	bcs    [][]*bankctl.BC
 
 	lines     [][]uint32 // per command: gathered line (reads) or computed line (writes)
 	remaining int
@@ -215,11 +304,12 @@ type frontEnd struct {
 	// first is the completed-prefix frontier: every command before it has
 	// retired, so the per-cycle scans start there.
 	first int
-	// wake caches each bank controller's next-event cycle. A controller
-	// whose wake lies in the future is provably idle and is not ticked at
-	// all; its clock is lazily advanced (syncBC) the moment the front end
-	// next touches it. Skipped cycles are pure counter increments, so
-	// timing is bit-identical to ticking every controller every cycle.
+	// wake caches each bank controller's next-event cycle, indexed
+	// channel*M + bank. A controller whose wake lies in the future is
+	// provably idle and is not ticked at all; its clock is lazily
+	// advanced (AdvanceIdle) the moment the front end next touches it.
+	// Skipped cycles are pure counter increments, so timing is
+	// bit-identical to ticking every controller every cycle.
 	wake []uint64
 }
 
@@ -229,7 +319,20 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 	if fe.remaining == 0 {
 		return memsys.Result{}, nil
 	}
-	fe.wake = make([]uint64, len(fe.bcs)) // zero: everyone ticks at cycle 0
+	// The channel dispatcher's split: each command's element count per
+	// channel, by the closed form where the decoder supports it.
+	C := int(fe.cfg.Channels)
+	M := int(fe.cfg.Banks)
+	for i := range fe.state {
+		hits := addrmap.SplitVector(fe.cfg.Decoder, fe.trace.Cmds[i].V)
+		st := &fe.state[i]
+		st.ch = make([]chanState, C)
+		for ch := 0; ch < C; ch++ {
+			st.ch[ch].count = hits[ch].Count
+			st.ch[ch].active = hits[ch].Count > 0
+		}
+	}
+	fe.wake = make([]uint64, C*M) // zero: everyone ticks at cycle 0
 	for cycle := uint64(0); fe.remaining > 0; {
 		if cycle > fe.cfg.MaxCycles {
 			return memsys.Result{}, fmt.Errorf("pvaunit: no forward progress after %d cycles (%d commands left)\n%s",
@@ -238,23 +341,27 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 		if err := fe.step(cycle); err != nil {
 			return memsys.Result{}, err
 		}
-		for b, bc := range fe.bcs {
-			// Lazy ticking: a controller whose next event lies beyond this
-			// cycle is provably inert and is not ticked at all. Its local
-			// clock catches up (pure counter increments) the cycle it next
-			// matters, so timing is bit-identical to the strict loop.
-			if !fe.cfg.DisableIdleSkip && fe.wake[b] > cycle {
-				continue
-			}
-			if lag := bc.CycleNow(); lag < cycle {
-				if err := bc.AdvanceIdle(cycle - lag); err != nil {
+		for ch, row := range fe.bcs {
+			for b, bc := range row {
+				// Lazy ticking: a controller whose next event lies beyond
+				// this cycle is provably inert and is not ticked at all. Its
+				// local clock catches up (pure counter increments) the cycle
+				// it next matters, so timing is bit-identical to the strict
+				// loop.
+				w := ch*M + b
+				if !fe.cfg.DisableIdleSkip && fe.wake[w] > cycle {
+					continue
+				}
+				if lag := bc.CycleNow(); lag < cycle {
+					if err := bc.AdvanceIdle(cycle - lag); err != nil {
+						return memsys.Result{}, err
+					}
+				}
+				if err := bc.Tick(); err != nil {
 					return memsys.Result{}, err
 				}
+				fe.wake[w] = bc.NextEventAt()
 			}
-			if err := bc.Tick(); err != nil {
-				return memsys.Result{}, err
-			}
-			fe.wake[b] = bc.NextEventAt()
 		}
 		cycle++
 		if fe.cfg.DisableIdleSkip || fe.remaining == 0 {
@@ -314,8 +421,8 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 		}
 		c := &fe.trace.Cmds[i]
 		if !st.issued {
-			// May become broadcastable at the next bus decision point
-			// once its dependences are complete. (Conflict and
+			// May become broadcastable at a channel's next bus decision
+			// point once its dependences are complete. (Conflict and
 			// transaction-ID availability can defer it further; waking
 			// at the bus point and finding nothing to do is harmless.)
 			ready := true
@@ -326,32 +433,48 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 				}
 			}
 			if ready {
-				upd(max(now, fe.bus.BusyUntil()))
+				for ch := range st.ch {
+					if st.ch[ch].active {
+						upd(max(now, fe.buses[ch].BusyUntil()))
+					}
+				}
 			}
-		} else if !st.broadcastDone {
-			if c.Op == memsys.Write {
-				upd(st.stageWriteEnd)
-			}
-			upd(st.broadcastAt)
 		} else {
-			switch c.Op {
-			case memsys.Read:
-				switch {
-				case !st.gathered:
-					// The transaction-complete line deasserts during a
-					// bank controller Tick; once it has, the front end
-					// must observe it on its very next step.
-					if fe.board.AllDone(st.txn) {
+			for ch := range st.ch {
+				cs := &st.ch[ch]
+				if !cs.active || cs.done {
+					continue
+				}
+				if !cs.reserved {
+					upd(max(now, fe.buses[ch].BusyUntil()))
+					continue
+				}
+				if !cs.broadcastDone {
+					if c.Op == memsys.Write {
+						upd(cs.stageWriteEnd)
+					}
+					upd(cs.broadcastAt)
+					continue
+				}
+				switch c.Op {
+				case memsys.Read:
+					switch {
+					case !cs.gathered:
+						// The transaction-complete line deasserts during a
+						// bank controller Tick; once it has, the front end
+						// must observe it on its very next step.
+						if fe.boards[ch].AllDone(st.txn) {
+							upd(now)
+						}
+					case !cs.stagingStarted:
+						upd(max(now, fe.buses[ch].BusyUntil()))
+					default:
+						upd(cs.stageReadEnd)
+					}
+				case memsys.Write:
+					if fe.boards[ch].AllDone(st.txn) {
 						upd(now)
 					}
-				case !st.stagingStarted:
-					upd(max(now, fe.bus.BusyUntil()))
-				default:
-					upd(st.stageReadEnd)
-				}
-			case memsys.Write:
-				if fe.board.AllDone(st.txn) {
-					upd(now)
 				}
 			}
 		}
@@ -364,162 +487,227 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 
 // debugString summarizes stuck state for the deadlock error.
 func (fe *frontEnd) debugString() string {
-	s := fmt.Sprintf("bus busyUntil=%d\n", fe.bus.BusyUntil())
+	var s string
+	for ch, b := range fe.buses {
+		s += fmt.Sprintf("ch%d bus busyUntil=%d\n", ch, b.BusyUntil())
+	}
 	for i := range fe.state {
 		st := &fe.state[i]
 		if st.completed {
 			continue
 		}
 		c := &fe.trace.Cmds[i]
-		s += fmt.Sprintf("cmd %d %v V=%+v txn=%d issued=%v bcast=%v gathered=%v staging=%v\n",
-			i, c.Op, c.V, st.txn, st.issued, st.broadcastDone, st.gathered, st.stagingStarted)
+		s += fmt.Sprintf("cmd %d %v V=%+v txn=%d issued=%v", i, c.Op, c.V, st.txn, st.issued)
+		for ch := range st.ch {
+			cs := &st.ch[ch]
+			if !cs.active {
+				continue
+			}
+			s += fmt.Sprintf(" ch%d{n=%d rsv=%v bcast=%v gathered=%v staging=%v done=%v}",
+				ch, cs.count, cs.reserved, cs.broadcastDone, cs.gathered, cs.stagingStarted, cs.done)
+		}
+		s += "\n"
 	}
-	for _, bc := range fe.bcs {
-		if d := bc.DebugString(); d != "" {
-			s += d + "\n"
+	for _, row := range fe.bcs {
+		for _, bc := range row {
+			if d := bc.DebugString(); d != "" {
+				s += d + "\n"
+			}
 		}
 	}
 	return s
 }
 
 // step performs the front end's work for one cycle: schedule the next
-// bus tenure (which may begin this very cycle), then deliver due events
-// and observe completion lines.
+// bus tenure on every channel (which may begin this very cycle), then
+// deliver due events and observe completion lines.
 func (fe *frontEnd) step(now uint64) error {
-	if err := fe.schedule(now); err != nil {
-		return err
+	for ch := range fe.buses {
+		if err := fe.scheduleChannel(ch, now); err != nil {
+			return err
+		}
 	}
-	// Write data lands in the staging units at the end of the
+	// Write data lands in the staging units at the end of each channel's
 	// STAGE_WRITE burst, before any broadcast due this cycle.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		c := &fe.trace.Cmds[i]
-		if c.Op == memsys.Write && st.issued && !st.broadcastDone && st.stageWriteEnd == now {
-			for _, bc := range fe.bcs {
-				bc.StageWriteData(st.txn, st.line)
+		for ch := range st.ch {
+			cs := &st.ch[ch]
+			if !cs.reserved || cs.broadcastDone {
+				continue
 			}
-		}
-		if st.issued && !st.broadcastDone && st.broadcastAt == now {
-			fe.board.Open(st.txn)
-			for b, bc := range fe.bcs {
-				// Catch a lazily-skipped controller up to the present
-				// before it timestamps the request, and force its Tick
-				// this cycle so the new work is scheduled on time.
-				if lag := bc.CycleNow(); lag < now {
-					if err := bc.AdvanceIdle(now - lag); err != nil {
-						return err
-					}
+			if c.Op == memsys.Write && cs.stageWriteEnd == now {
+				for _, bc := range fe.bcs[ch] {
+					bc.StageWriteData(st.txn, st.line)
 				}
-				bc.ObserveCommand(c.Op, c.V, st.txn)
-				fe.wake[b] = now
 			}
-			st.broadcastDone = true
-			fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.Broadcast, Txn: st.txn})
+			if cs.broadcastAt == now {
+				fe.boards[ch].Open(st.txn)
+				M := len(fe.bcs[ch])
+				for b, bc := range fe.bcs[ch] {
+					// Catch a lazily-skipped controller up to the present
+					// before it timestamps the request, and force its Tick
+					// this cycle so the new work is scheduled on time.
+					if lag := bc.CycleNow(); lag < now {
+						if err := bc.AdvanceIdle(now - lag); err != nil {
+							return err
+						}
+					}
+					bc.ObserveCommand(c.Op, c.V, st.txn)
+					fe.wake[ch*M+b] = now
+				}
+				cs.broadcastDone = true
+				fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.Broadcast, Txn: st.txn})
+			}
 		}
 	}
 
-	// Observe transaction-complete lines and finished STAGE_READ bursts.
+	// Observe transaction-complete lines and finished STAGE_READ bursts,
+	// per channel; a command retires when every participating channel is
+	// done.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
 		c := &fe.trace.Cmds[i]
-		if !st.broadcastDone || st.completed {
+		if !st.issued || st.completed {
 			continue
 		}
-		switch c.Op {
-		case memsys.Read:
-			if !st.gathered && fe.board.AllDone(st.txn) {
-				st.gathered = true
+		allDone := true
+		for ch := range st.ch {
+			cs := &st.ch[ch]
+			if !cs.active {
+				continue
 			}
-			if st.stagingStarted && st.stageReadEnd == now {
-				line := make([]uint32, c.V.Length)
-				got := 0
-				for _, bc := range fe.bcs {
-					got += bc.CollectRead(st.txn, line)
+			if !cs.broadcastDone {
+				allDone = false
+				continue
+			}
+			switch c.Op {
+			case memsys.Read:
+				if !cs.gathered && fe.boards[ch].AllDone(st.txn) {
+					cs.gathered = true
 				}
-				if got != int(c.V.Length) {
-					return fmt.Errorf("pvaunit: cmd %d staged %d of %d words", i, got, c.V.Length)
+				if cs.stagingStarted && !cs.done && cs.stageReadEnd == now {
+					if st.line == nil {
+						st.line = make([]uint32, c.V.Length)
+					}
+					got := 0
+					for _, bc := range fe.bcs[ch] {
+						got += bc.CollectRead(st.txn, st.line)
+					}
+					if got != int(cs.count) {
+						return fmt.Errorf("pvaunit: cmd %d channel %d staged %d of %d words", i, ch, got, cs.count)
+					}
+					cs.done = true
 				}
-				fe.finish(i, st, now, line)
+			case memsys.Write:
+				if !cs.done && fe.boards[ch].AllDone(st.txn) {
+					cs.done = true
+				}
 			}
-		case memsys.Write:
-			if fe.board.AllDone(st.txn) {
-				fe.finish(i, st, now, nil)
+			if !cs.done {
+				allDone = false
 			}
+		}
+		if allDone {
+			fe.finish(i, st, now)
 		}
 	}
 
 	return nil
 }
 
-// schedule reserves at most one new bus tenure per cycle, when the bus
-// decision point has arrived (its current tenure has drained).
-func (fe *frontEnd) schedule(now uint64) error {
-	if fe.bus.BusyUntil() > now {
+// scheduleChannel reserves at most one new bus tenure on channel ch per
+// cycle, when that bus's decision point has arrived (its current tenure
+// has drained).
+func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
+	chBus := fe.buses[ch]
+	if chBus.BusyUntil() > now {
 		return nil
 	}
 	// Priority 1: drain a gathered read — it frees a transaction and
 	// unblocks dependents.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
-		if fe.trace.Cmds[i].Op != memsys.Read || !st.gathered || st.stagingStarted || st.completed {
+		if fe.trace.Cmds[i].Op != memsys.Read || st.completed {
 			continue
 		}
-		cmdAt := fe.bus.Free(now, bus.Controller)
-		if err := fe.bus.Reserve(cmdAt, 1, bus.Controller); err != nil {
+		cs := &st.ch[ch]
+		if !cs.active || !cs.gathered || cs.stagingStarted {
+			continue
+		}
+		cmdAt := chBus.Free(now, bus.Controller)
+		if err := chBus.Reserve(cmdAt, 1, bus.Controller); err != nil {
 			return err
 		}
-		dataAt := fe.bus.Free(cmdAt+1, bus.Banks)
-		if err := fe.bus.Reserve(dataAt, uint64(dataCycles(fe.trace.Cmds[i].V.Length)), bus.Banks); err != nil {
+		dataAt := chBus.Free(cmdAt+1, bus.Banks)
+		if err := chBus.Reserve(dataAt, uint64(dataCycles(cs.count)), bus.Banks); err != nil {
 			return err
 		}
-		st.stagingStarted = true
-		st.stageReadEnd = dataAt + uint64(dataCycles(fe.trace.Cmds[i].V.Length))
+		cs.stagingStarted = true
+		cs.stageReadEnd = dataAt + uint64(dataCycles(cs.count))
 		fe.observe(trace.Event{Cycle: cmdAt, Bank: -1, Kind: trace.StageRead, Txn: st.txn})
 		return nil
 	}
-	// Priority 2: broadcast the oldest eligible command.
+	// Priority 2: broadcast the oldest command with work for this channel.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
-		if st.issued {
+		if st.completed {
 			continue
 		}
-		ok, err := fe.eligible(i)
-		if err != nil {
-			return err
-		}
-		if !ok {
+		cs := &st.ch[ch]
+		if !cs.active || cs.reserved {
 			continue
-		}
-		txn, free := fe.board.Alloc()
-		if !free {
-			break // all eight transactions outstanding
 		}
 		c := &fe.trace.Cmds[i]
-		st.txn = txn
-		st.issued = true
-		if c.Op == memsys.Read {
-			at := fe.bus.Free(now, bus.Controller)
-			if err := fe.bus.Reserve(at, 1, bus.Controller); err != nil {
-				return err
-			}
-			st.broadcastAt = at
-		} else {
-			data, err := memsys.WriteData(*c, fe.lines)
+		if !st.issued {
+			ok, err := fe.eligible(i)
 			if err != nil {
 				return err
 			}
-			st.line = data
-			fe.lines[i] = data
-			// STAGE_WRITE command + data burst + VEC_WRITE broadcast,
-			// all controller-driven and contiguous.
-			burst := uint64(1 + dataCycles(c.V.Length) + 1)
-			at := fe.bus.Free(now, bus.Controller)
-			if err := fe.bus.Reserve(at, burst, bus.Controller); err != nil {
+			if !ok {
+				continue
+			}
+			// One transaction-ID pool spans all channels: claim the same
+			// ID on every channel's board so each wired-OR line tracks
+			// its channel's share independently.
+			txn, free := fe.boards[0].Alloc()
+			if !free {
+				break // all eight transactions outstanding
+			}
+			for _, board := range fe.boards[1:] {
+				board.Claim(txn)
+			}
+			st.txn = txn
+			st.issued = true
+			if c.Op == memsys.Write {
+				data, err := memsys.WriteData(*c, fe.lines)
+				if err != nil {
+					return err
+				}
+				st.line = data
+				fe.lines[i] = data
+			}
+		}
+		if c.Op == memsys.Read {
+			at := chBus.Free(now, bus.Controller)
+			if err := chBus.Reserve(at, 1, bus.Controller); err != nil {
 				return err
 			}
-			st.stageWriteEnd = at + burst - 1
-			st.broadcastAt = at + burst - 1
-			fe.observe(trace.Event{Cycle: at, Bank: -1, Kind: trace.StageWrite, Txn: txn})
+			cs.reserved = true
+			cs.broadcastAt = at
+		} else {
+			// STAGE_WRITE command + this channel's data burst + VEC_WRITE
+			// broadcast, all controller-driven and contiguous.
+			burst := uint64(1 + dataCycles(cs.count) + 1)
+			at := chBus.Free(now, bus.Controller)
+			if err := chBus.Reserve(at, burst, bus.Controller); err != nil {
+				return err
+			}
+			cs.reserved = true
+			cs.stageWriteEnd = at + burst - 1
+			cs.broadcastAt = at + burst - 1
+			fe.observe(trace.Event{Cycle: at, Bank: -1, Kind: trace.StageWrite, Txn: st.txn})
 		}
 		return nil
 	}
@@ -534,17 +722,21 @@ func (fe *frontEnd) observe(e trace.Event) {
 }
 
 // finish retires a command: records data and completion time, releases
-// the transaction and all staging state.
-func (fe *frontEnd) finish(i int, st *cmdState, now uint64, line []uint32) {
+// the transaction on every channel and all staging state.
+func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 	st.completed = true
 	st.completedAt = now
 	fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.TxnComplete, Txn: st.txn})
-	if line != nil {
-		fe.lines[i] = line
+	if st.line != nil {
+		fe.lines[i] = st.line
 	}
-	fe.board.Release(st.txn)
-	for _, bc := range fe.bcs {
-		bc.Release(st.txn)
+	for _, board := range fe.boards {
+		board.Release(st.txn)
+	}
+	for _, row := range fe.bcs {
+		for _, bc := range row {
+			bc.Release(st.txn)
+		}
 	}
 	fe.remaining--
 	if now > fe.lastDone {

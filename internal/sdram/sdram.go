@@ -143,6 +143,12 @@ type Device struct {
 	base   uint32 // this device's external bank number, for store addressing
 	stride uint32 // external bank count (word interleave step)
 
+	// compose, when set, overrides the word-interleave store addressing:
+	// it maps a device word index back to the global word address. Bank
+	// controllers under a non-default address decoder install their
+	// decoder's inverse here.
+	compose func(bankWord uint32) uint32
+
 	static bool // SRAM mode: no rows, single-cycle access
 
 	cycle     uint64
@@ -230,8 +236,16 @@ func (d *Device) OpenRow(ib uint32) (uint32, bool) {
 // restimers track.
 func (d *Device) BankReadyAt(ib uint32) uint64 { return d.banks[ib].readyAt }
 
+// SetCompose installs a custom device-word-to-global-address mapping,
+// replacing the default word-interleave formula. nil restores the
+// default.
+func (d *Device) SetCompose(f func(bankWord uint32) uint32) { d.compose = f }
+
 // wordAddr converts device coordinates back to the global word address.
 func (d *Device) wordAddr(c addr.Coord) uint32 {
+	if d.compose != nil {
+		return d.compose(d.geom.Compose(c))
+	}
 	return d.geom.Compose(c)*d.stride + d.base
 }
 

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenLog exercises every Dump formatting branch: each event kind,
+// bus-level and per-bank lines, the auto-precharge rider both present
+// and absent, multi-digit bank numbers, and out-of-order recording (so
+// the sort is part of the locked format).
+func goldenLog() *Log {
+	l := &Log{}
+	l.Record(Event{Cycle: 12, Bank: 3, Kind: ReadCmd, Txn: 2, IBank: 1, Row: 40, Col: 9, Elem: 17, Auto: true})
+	l.Record(Event{Cycle: 0, Bank: -1, Kind: Broadcast, Txn: 0})
+	l.Record(Event{Cycle: 4, Bank: 0, Kind: Activate, Txn: 0, IBank: 2, Row: 511})
+	l.Record(Event{Cycle: 6, Bank: 0, Kind: WriteCmd, Txn: 0, IBank: 2, Row: 511, Col: 31, Elem: 3})
+	l.Record(Event{Cycle: 9, Bank: 15, Kind: Precharge, Txn: 0, IBank: 2})
+	l.Record(Event{Cycle: 2, Bank: -1, Kind: StageWrite, Txn: 0})
+	l.Record(Event{Cycle: 20, Bank: -1, Kind: StageRead, Txn: 2})
+	l.Record(Event{Cycle: 12, Bank: 10, Kind: ReadCmd, Txn: 2, IBank: 0, Row: 0, Col: 0, Elem: 0})
+	l.Record(Event{Cycle: 38, Bank: -1, Kind: TxnComplete, Txn: 2})
+	return l
+}
+
+// TestDumpGolden locks Dump's timeline format against
+// testdata/dump.golden. Run `go test ./internal/trace -update` after an
+// intentional format change to regenerate the file.
+func TestDumpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenLog().Dump(&buf)
+	path := filepath.Join("testdata", "dump.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Dump output diverged from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

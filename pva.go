@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"pva/internal/addr"
+	"pva/internal/addrmap"
 	"pva/internal/bankctl"
 	"pva/internal/baseline"
 	"pva/internal/core"
@@ -68,8 +69,18 @@ const (
 // Config selects the PVA memory-system parameters. The zero value of
 // any field falls back to the paper's prototype (Section 5.1).
 type Config struct {
-	Banks     uint32 // word-interleaved banks M (16)
+	Banks     uint32 // word-interleaved banks M per channel (16)
 	LineWords uint32 // cache line length in words (32)
+
+	// Channels replicates the PVA back end (bus + bank controllers)
+	// across that many memory channels, a power of two; 0 or 1 is the
+	// paper's single-channel prototype.
+	Channels uint32
+	// AddrMap names the address-decode function splitting word addresses
+	// into (channel, bank, bank word): "word" (default; the paper's word
+	// interleave), "line" (line-granularity channel interleave), or
+	// "xor" (XOR-permutation bank hash).
+	AddrMap string
 
 	// SDRAM device geometry and timing.
 	InternalBanks   uint32 // internal banks per device (4)
@@ -116,6 +127,9 @@ func (c Config) fill() Config {
 	if c.LineWords == 0 {
 		c.LineWords = d.LineWords
 	}
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
 	if c.InternalBanks == 0 {
 		c.InternalBanks = d.InternalBanks
 	}
@@ -149,8 +163,14 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 	if err != nil {
 		return pvaunit.Config{}, err
 	}
+	dec, err := addrmap.New(c.AddrMap, c.Channels, c.Banks, c.LineWords)
+	if err != nil {
+		return pvaunit.Config{}, err
+	}
 	cfg := pvaunit.Config{
 		Banks:     c.Banks,
+		Channels:  c.Channels,
+		Decoder:   dec,
 		LineWords: c.LineWords,
 		SGeom:     sg,
 		Timing: sdram.Timing{
