@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"pva"
@@ -28,8 +30,19 @@ func main() {
 		channels = flag.Uint("channels", 1, "memory channels (power of two)")
 		addrmap  = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		jsonOut  = flag.Bool("json", false, "emit measured points as JSON instead of the table")
+
+		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
+		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
+		deadBanks = flag.String("dead-banks", "", "comma-separated hard-faulted bank controllers, flat channel*banks+bank (degraded mode)")
+		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
 	)
 	flag.Parse()
+
+	plan, err := faultPlan(*faultSeed, *faultRate, *deadBanks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvasim: %v\n", err)
+		os.Exit(2)
+	}
 
 	kinds := map[string]pva.SystemKind{
 		"pva-sdram":        pva.PVASDRAM,
@@ -51,7 +64,12 @@ func main() {
 
 	p := pva.PaperParams(uint32(*stride), *align)
 	p.Elements = uint32(*elements)
-	opts := pva.SweepOptions{Channels: uint32(*channels), AddrMap: *addrmap}
+	opts := pva.SweepOptions{
+		Channels: uint32(*channels),
+		AddrMap:  *addrmap,
+		Fault:    plan,
+		Watchdog: *watchdog,
+	}
 
 	points := make([]pva.SweepPoint, 0, len(run))
 	for _, kind := range run {
@@ -74,14 +92,46 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds\n")
+	faulty := plan.Active()
+	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds")
+	if faulty {
+		fmt.Fprintf(w, "\tecc corr\tecc uncorr\tnacks\tdegraded")
+	}
+	fmt.Fprintln(w)
 	base := points[0].Cycles
 	for _, pt := range points {
-		fmt.Fprintf(w, "%s\t%d (%.0f%%)\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%s\t%d (%.0f%%)\t%d\t%d\t%d\t%d\t%d\t%d\t%d",
 			pt.System, pt.Cycles, 100*float64(pt.Cycles)/float64(base),
 			pt.Stats.SDRAMReads, pt.Stats.SDRAMWrites,
 			pt.Stats.Activates, pt.Stats.Precharges, pt.Stats.RowHits,
 			pt.Stats.BusBusyCycles, pt.Stats.TurnaroundCycles)
+		if faulty {
+			fmt.Fprintf(w, "\t%d\t%d\t%d\t%d", pt.Stats.CorrectedECC,
+				pt.Stats.UncorrectedECC, pt.Stats.BusNACKs, pt.Stats.DegradedElements)
+		}
+		fmt.Fprintln(w)
 	}
 	w.Flush()
+}
+
+// faultPlan maps the CLI's single base rate onto the plan's three rates:
+// single-bit flips at p, double-bit flips at p/100, broadcast drops at
+// p/10 — the relative frequencies real parts exhibit.
+func faultPlan(seed uint64, rate float64, dead string) (pva.FaultPlan, error) {
+	plan := pva.FaultPlan{
+		Seed:           seed,
+		BitFlipRate:    rate,
+		DoubleFlipRate: rate / 100,
+		DropRate:       rate / 10,
+	}
+	if dead != "" {
+		for _, f := range strings.Split(dead, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				return pva.FaultPlan{}, fmt.Errorf("bad dead bank %q", f)
+			}
+			plan.DeadBanks = append(plan.DeadBanks, uint32(n))
+		}
+	}
+	return plan, nil
 }

@@ -34,6 +34,10 @@ func main() {
 		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
 		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
+
+		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
+		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
+		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
 	)
 	flag.Parse()
 
@@ -46,6 +50,13 @@ func main() {
 		Verify:   *verify,
 		Workers:  *workers,
 		AddrMap:  *addrmap,
+		Fault: pva.FaultPlan{
+			Seed:           *faultSeed,
+			BitFlipRate:    *faultRate,
+			DoubleFlipRate: *faultRate / 100,
+			DropRate:       *faultRate / 10,
+		},
+		Watchdog: *watchdog,
 	}
 
 	start := time.Now()

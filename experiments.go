@@ -98,6 +98,13 @@ type SweepOptions struct {
 	// AddrMap names the address decoder ("word", "line", "xor"); empty
 	// means the paper's word interleave.
 	AddrMap string
+	// Fault selects deterministic fault injection for the PVA systems in
+	// the sweep; the zero value injects nothing. The serial baselines
+	// model no fault machinery and ignore it.
+	Fault FaultPlan
+	// Watchdog arms the PVA forward-progress watchdog, in cycles
+	// (0: disabled).
+	Watchdog uint64
 }
 
 func (o SweepOptions) runner() harness.Runner {
@@ -106,6 +113,8 @@ func (o SweepOptions) runner() harness.Runner {
 		Verify:   o.Verify,
 		Channels: o.Channels,
 		AddrMap:  o.AddrMap,
+		Fault:    o.Fault,
+		Watchdog: o.Watchdog,
 	}
 }
 

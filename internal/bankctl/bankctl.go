@@ -33,6 +33,7 @@ import (
 	"pva/internal/addr"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/fault"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
 	"pva/internal/trace"
@@ -65,6 +66,10 @@ type Config struct {
 	FHCDelay  int            // FirstHit-Calculate latency in cycles (prototype: 2)
 	Policy    Policy         // scheduling policy (nil: paper's SPU heuristic)
 	Observer  trace.Observer // optional event sink (nil: tracing off)
+
+	// Injector, when non-nil, is installed on the SDRAM device's read
+	// path: transient bit flips run through the SEC-DED codec there.
+	Injector *fault.Injector
 }
 
 // PaperConfig returns the prototype parameters of Section 5.1 for the
@@ -132,7 +137,7 @@ type Stats struct {
 // New returns a bank controller driving a fresh device over the store.
 func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
 	if cfg.VCWindow <= 0 || cfg.RFEntries <= 0 {
-		panic("bankctl: VCWindow and RFEntries must be positive")
+		fault.Invariantf("bankctl", "VCWindow and RFEntries must be positive")
 	}
 	var dev *sdram.Device
 	if cfg.Static {
@@ -142,6 +147,9 @@ func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
 	}
 	if cfg.View != nil {
 		dev.SetCompose(cfg.View.Compose)
+	}
+	if cfg.Injector != nil {
+		dev.SetInjector(cfg.Injector)
 	}
 	bc := &BC{
 		cfg:       cfg,
@@ -202,7 +210,7 @@ func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
 		// The bus protocol caps outstanding transactions at the RF size,
 		// so this is a front-end protocol violation, not a backpressure
 		// condition.
-		panic(fmt.Sprintf("bankctl: bank %d register file overflow", bc.cfg.Bank))
+		fault.Invariantf("bankctl", "bank %d register file overflow", bc.cfg.Bank)
 	}
 	r := request{op: op, v: v, txn: txn, hit: hit, idxs: idxs, enqueuedAt: bc.cycle}
 	if pow2(v.Stride) {
@@ -255,6 +263,11 @@ func (bc *BC) Tick() error {
 		}
 	}
 	for _, rr := range bc.dev.Tick() {
+		if rr.Err != nil {
+			// A poisoned word: every ECC replay came back dirty. Surface
+			// the structured error; the front end fails the run cleanly.
+			return rr.Err
+		}
 		txn := int(rr.Tag >> 32)
 		idx := uint32(rr.Tag)
 		if bc.su.putRead(txn, idx, rr.Data) {

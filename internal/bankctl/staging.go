@@ -7,9 +7,8 @@
 package bankctl
 
 import (
-	"fmt"
-
 	"pva/internal/bus"
+	"pva/internal/fault"
 )
 
 type readStage struct {
@@ -43,17 +42,17 @@ func (s *staging) openRead(txn int, count uint32) {
 func (s *staging) putRead(txn int, idx, data uint32) bool {
 	r := &s.reads[txn]
 	if !r.open {
-		panic(fmt.Sprintf("bankctl: read data for closed txn %d", txn))
+		fault.Invariantf("bankctl", "read data for closed txn %d", txn)
 	}
 	if idx < 64 {
 		if r.seen&(1<<idx) != 0 {
-			panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+			fault.Invariantf("bankctl", "duplicate read word for txn %d elem %d", txn, idx)
 		}
 		r.seen |= 1 << idx
 	} else {
 		for _, have := range r.idxs {
 			if have == idx {
-				panic(fmt.Sprintf("bankctl: duplicate read word for txn %d elem %d", txn, idx))
+				fault.Invariantf("bankctl", "duplicate read word for txn %d elem %d", txn, idx)
 			}
 		}
 	}
@@ -69,11 +68,11 @@ func (s *staging) collect(txn int, line []uint32) int {
 		return 0
 	}
 	if uint32(len(r.words)) != r.expected {
-		panic(fmt.Sprintf("bankctl: collecting txn %d before completion (%d/%d)", txn, len(r.words), r.expected))
+		fault.Invariantf("bankctl", "collecting txn %d before completion (%d/%d)", txn, len(r.words), r.expected)
 	}
 	for k, idx := range r.idxs {
 		if idx >= uint32(len(line)) {
-			panic(fmt.Sprintf("bankctl: txn %d element %d outside line of %d", txn, idx, len(line)))
+			fault.Invariantf("bankctl", "txn %d element %d outside line of %d", txn, idx, len(line))
 		}
 		line[idx] = r.words[k]
 	}

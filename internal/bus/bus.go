@@ -15,7 +15,11 @@
 //     serviced its share.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"pva/internal/fault"
+)
 
 // Command is a vector bus command code (the two-bit command of the
 // request cycle).
@@ -140,7 +144,7 @@ type Board struct {
 // NewBoard returns a board for the given bank count (<= 64).
 func NewBoard(banks uint32) *Board {
 	if banks == 0 || banks > 64 {
-		panic(fmt.Sprintf("bus: bank count %d out of range", banks))
+		fault.Invariantf("bus", "bank count %d out of range", banks)
 	}
 	return &Board{
 		banks:   banks,
@@ -168,10 +172,10 @@ func (b *Board) Alloc() (int, bool) {
 // transaction is a protocol violation.
 func (b *Board) Claim(txn int) {
 	if txn < 0 || txn >= MaxTransactions {
-		panic(fmt.Sprintf("bus: txn %d out of range", txn))
+		fault.Invariantf("bus", "txn %d out of range", txn)
 	}
 	if b.inUse[txn] {
-		panic(fmt.Sprintf("bus: claiming outstanding txn %d", txn))
+		fault.Invariantf("bus", "claiming outstanding txn %d", txn)
 	}
 	b.inUse[txn] = true
 	b.pending[txn] = 0
@@ -204,7 +208,7 @@ func (b *Board) AllDone(txn int) bool {
 func (b *Board) Release(txn int) {
 	b.check(txn)
 	if b.pending[txn] != 0 {
-		panic(fmt.Sprintf("bus: releasing txn %d with banks pending", txn))
+		fault.Invariantf("bus", "releasing txn %d with banks pending", txn)
 	}
 	b.inUse[txn] = false
 }
@@ -217,9 +221,9 @@ func (b *Board) InUse(txn int) bool {
 
 func (b *Board) check(txn int) {
 	if txn < 0 || txn >= MaxTransactions {
-		panic(fmt.Sprintf("bus: txn %d out of range", txn))
+		fault.Invariantf("bus", "txn %d out of range", txn)
 	}
 	if !b.inUse[txn] {
-		panic(fmt.Sprintf("bus: txn %d not allocated", txn))
+		fault.Invariantf("bus", "txn %d not allocated", txn)
 	}
 }

@@ -1,0 +1,129 @@
+// SEC-DED error-correcting code for the SDRAM read path: a (39, 32)
+// Hamming code with an overall parity bit, the classic single-error-
+// correct / double-error-detect organization server memory uses. The
+// simulator stores true data in the backing store; on every array read
+// the device encodes the word, lets the injector flip codeword bits,
+// and decodes — so the model exercises the real algebra, not a flag.
+
+package fault
+
+import "math/bits"
+
+// CodeBits is the codeword width: 32 data bits, 6 Hamming check bits
+// (positions 1, 2, 4, 8, 16, 32) and the overall parity bit
+// (position 0).
+const CodeBits = 39
+
+// ECCStatus classifies a decoded codeword.
+type ECCStatus uint8
+
+const (
+	// ECCOK: the codeword is clean.
+	ECCOK ECCStatus = iota
+	// ECCCorrected: a single-bit error was corrected in place.
+	ECCCorrected
+	// ECCUncorrectable: a double-bit error was detected; the data is
+	// unusable and the read must be replayed.
+	ECCUncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s ECCStatus) String() string {
+	switch s {
+	case ECCOK:
+		return "ok"
+	case ECCCorrected:
+		return "corrected"
+	case ECCUncorrectable:
+		return "uncorrectable"
+	default:
+		return "ecc(?)"
+	}
+}
+
+// checkMasks[i] is the set of codeword positions (1..38) covered by
+// Hamming check bit 1<<i, including the check position itself.
+var checkMasks = buildCheckMasks()
+
+func buildCheckMasks() [6]uint64 {
+	var masks [6]uint64
+	for pos := 1; pos < CodeBits; pos++ {
+		for i := 0; i < 6; i++ {
+			if pos&(1<<i) != 0 {
+				masks[i] |= 1 << pos
+			}
+		}
+	}
+	return masks
+}
+
+// dataPositions lists the codeword positions holding data bits: every
+// position 1..38 that is not a power of two, in ascending order.
+var dataPositions = buildDataPositions()
+
+func buildDataPositions() [32]uint {
+	var out [32]uint
+	n := 0
+	for pos := uint(1); pos < CodeBits; pos++ {
+		if pos&(pos-1) == 0 {
+			continue // Hamming check position
+		}
+		out[n] = pos
+		n++
+	}
+	return out
+}
+
+// Encode produces the 39-bit SEC-DED codeword for a data word.
+func Encode(data uint32) uint64 {
+	var code uint64
+	for i, pos := range dataPositions {
+		code |= uint64(data>>i&1) << pos
+	}
+	for i, mask := range checkMasks {
+		if bits.OnesCount64(code&mask)&1 == 1 {
+			code |= 1 << (1 << i)
+		}
+	}
+	// Overall parity: make the whole 39-bit word even-parity.
+	if bits.OnesCount64(code)&1 == 1 {
+		code |= 1
+	}
+	return code
+}
+
+// Decode checks and (when possible) corrects a codeword, returning the
+// data word and what the decoder had to do. For ECCUncorrectable the
+// returned data is the best-effort extraction and must not be trusted.
+func Decode(code uint64) (uint32, ECCStatus) {
+	syndrome := 0
+	for i, mask := range checkMasks {
+		if bits.OnesCount64(code&mask)&1 == 1 {
+			syndrome |= 1 << i
+		}
+	}
+	overallOdd := bits.OnesCount64(code)&1 == 1
+	status := ECCOK
+	switch {
+	case syndrome == 0 && !overallOdd:
+		// Clean.
+	case overallOdd:
+		// Odd weight error — with at most two injected flips this is a
+		// single-bit error; the syndrome addresses it (0 means the
+		// overall parity bit itself flipped).
+		if syndrome != 0 {
+			code ^= 1 << syndrome
+		} else {
+			code ^= 1
+		}
+		status = ECCCorrected
+	default:
+		// Non-zero syndrome with even overall parity: double error.
+		status = ECCUncorrectable
+	}
+	var data uint32
+	for i, pos := range dataPositions {
+		data |= uint32(code>>pos&1) << i
+	}
+	return data, status
+}

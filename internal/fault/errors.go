@@ -1,0 +1,121 @@
+// The simulator's error taxonomy. Three classes:
+//
+//   - InvariantError: a broken simulator invariant (the conditions that
+//     used to panic deep inside bus/bankctl). Raised with Invariantf and
+//     recovered at the System.Run boundary, so a simulator bug yields a
+//     debuggable error from Run instead of a crashed sweep worker.
+//   - DeadlockError / ErrDeadlock: the forward-progress watchdog fired;
+//     carries a diagnostic dump of vector contexts, FIFO depths and
+//     restimer state.
+//   - UncorrectableError / BusFaultError: injected faults that survived
+//     the bounded recovery paths (ECC replay, broadcast retry).
+
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InvariantError reports a violated simulator invariant: a protocol or
+// bookkeeping condition that can only be false if the simulator itself
+// is buggy. Components raise it with Invariantf (a typed panic) and
+// System.Run recovers it into an ordinary error return.
+type InvariantError struct {
+	Component string // "bus", "bankctl", ...
+	Msg       string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("%s: invariant violated: %s", e.Component, e.Msg)
+}
+
+// Invariantf panics with an *InvariantError. The panic unwinds to the
+// nearest RecoverInvariant (the System.Run boundary), keeping the
+// simulator's hot paths free of error plumbing for conditions that are
+// bugs, not runtime states.
+func Invariantf(component, format string, args ...any) {
+	panic(&InvariantError{Component: component, Msg: fmt.Sprintf(format, args...)})
+}
+
+// RecoverInvariant converts an in-flight *InvariantError panic into an
+// error assignment; any other panic is re-raised. Use in a defer:
+//
+//	defer fault.RecoverInvariant(&err)
+func RecoverInvariant(err *error) {
+	if r := recover(); r != nil {
+		ie, ok := r.(*InvariantError)
+		if !ok {
+			panic(r)
+		}
+		*err = ie
+	}
+}
+
+// ErrDeadlock is the sentinel every DeadlockError matches via
+// errors.Is: the simulation made no forward progress within the
+// watchdog window.
+var ErrDeadlock = errors.New("no forward progress")
+
+// DeadlockError reports a stuck simulation: the watchdog observed no
+// component making progress for Stalled cycles. Dump carries the
+// diagnostic state snapshot (pending commands, per-channel bus state,
+// bank-controller queues and vector contexts).
+type DeadlockError struct {
+	Cycle   uint64 // cycle at which the watchdog fired
+	Stalled uint64 // cycles since the last observed progress
+	Dump    string // diagnostic state snapshot
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("deadlock: no forward progress for %d cycles (at cycle %d)\n%s",
+		e.Stalled, e.Cycle, e.Dump)
+}
+
+// Is matches ErrDeadlock.
+func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }
+
+// ErrUncorrectable is the sentinel for reads whose data stayed dirty
+// past the bounded ECC replay.
+var ErrUncorrectable = errors.New("uncorrectable memory error")
+
+// UncorrectableError reports a word that could not be read cleanly
+// within the retry budget: every replay came back with a detected
+// double-bit error.
+type UncorrectableError struct {
+	Addr     uint32 // global word address
+	Bank     uint32 // external bank (interleave unit)
+	Attempts int    // reads performed (initial + replays)
+}
+
+// Error implements error.
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("uncorrectable ECC error at word %#x (bank %d) after %d attempts",
+		e.Addr, e.Bank, e.Attempts)
+}
+
+// Is matches ErrUncorrectable.
+func (e *UncorrectableError) Is(target error) bool { return target == ErrUncorrectable }
+
+// ErrBusFault is the sentinel for broadcasts that stayed NACKed past
+// the front end's retry budget.
+var ErrBusFault = errors.New("vector bus fault")
+
+// BusFaultError reports a vector-bus transaction dropped more times
+// than the bounded retransmission allows.
+type BusFaultError struct {
+	Channel  int // memory channel
+	Cmd      int // trace command index
+	Attempts int // transmissions attempted
+}
+
+// Error implements error.
+func (e *BusFaultError) Error() string {
+	return fmt.Sprintf("vector bus fault: cmd %d on channel %d NACKed %d times",
+		e.Cmd, e.Channel, e.Attempts)
+}
+
+// Is matches ErrBusFault.
+func (e *BusFaultError) Is(target error) bool { return target == ErrBusFault }

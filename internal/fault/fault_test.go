@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestECCRoundTrip checks that clean codewords decode to their data.
+func TestECCRoundTrip(t *testing.T) {
+	for _, w := range testWords() {
+		code := Encode(w)
+		got, st := Decode(code)
+		if st != ECCOK || got != w {
+			t.Fatalf("Decode(Encode(%#x)) = %#x, %v", w, got, st)
+		}
+	}
+}
+
+// TestECCSingleBit flips every one of the 39 codeword positions and
+// checks SEC-DED corrects each back to the original data.
+func TestECCSingleBit(t *testing.T) {
+	for _, w := range testWords() {
+		code := Encode(w)
+		for b := uint(0); b < CodeBits; b++ {
+			got, st := Decode(code ^ 1<<b)
+			if st != ECCCorrected {
+				t.Fatalf("word %#x bit %d: status %v, want corrected", w, b, st)
+			}
+			if got != w {
+				t.Fatalf("word %#x bit %d: corrected to %#x", w, b, got)
+			}
+		}
+	}
+}
+
+// TestECCDoubleBit flips every pair of codeword positions (741 pairs)
+// and checks each is detected as uncorrectable — never miscorrected
+// silently.
+func TestECCDoubleBit(t *testing.T) {
+	for _, w := range testWords() {
+		code := Encode(w)
+		for b1 := uint(0); b1 < CodeBits; b1++ {
+			for b2 := b1 + 1; b2 < CodeBits; b2++ {
+				if _, st := Decode(code ^ 1<<b1 ^ 1<<b2); st != ECCUncorrectable {
+					t.Fatalf("word %#x bits %d,%d: status %v, want uncorrectable", w, b1, b2, st)
+				}
+			}
+		}
+	}
+}
+
+func testWords() []uint32 {
+	return []uint32{0, 1, 0xffffffff, 0xdeadbeef, 0x80000001, 0x55555555, 0xaaaaaaaa, 12345}
+}
+
+// TestInjectorDeterministic: identical plans make identical decisions at
+// identical sites, whatever the evaluation order.
+func TestInjectorDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, BitFlipRate: 0.3, DoubleFlipRate: 0.05, DropRate: 0.2}
+	a, b := NewInjector(p), NewInjector(p)
+	// Evaluate the same sites in opposite orders.
+	type site struct {
+		bank  uint32
+		cycle uint64
+		addr  uint32
+	}
+	var sites []site
+	for i := 0; i < 200; i++ {
+		sites = append(sites, site{uint32(i % 16), uint64(i * 7), uint32(i * 31)})
+	}
+	want := make([][]uint, len(sites))
+	for i, s := range sites {
+		want[i] = a.ReadFault(s.bank, s.cycle, s.addr, 0)
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		got := b.ReadFault(s.bank, s.cycle, s.addr, 0)
+		if len(got) != len(want[i]) {
+			t.Fatalf("site %d: %v vs %v", i, got, want[i])
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("site %d: %v vs %v", i, got, want[i])
+			}
+		}
+		if a.DropBroadcast(s.bank, i, 1) != b.DropBroadcast(s.bank, i, 1) {
+			t.Fatalf("site %d: DropBroadcast disagrees", i)
+		}
+	}
+}
+
+// TestInjectorDoubleFlipDistinct: a double flip always names two
+// distinct positions in range.
+func TestInjectorDoubleFlipDistinct(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, DoubleFlipRate: 1})
+	for i := 0; i < 500; i++ {
+		bits := in.ReadFault(uint32(i%16), uint64(i), uint32(i*13), 0)
+		if len(bits) != 2 {
+			t.Fatalf("site %d: %d flips, want 2", i, len(bits))
+		}
+		if bits[0] == bits[1] || bits[0] >= CodeBits || bits[1] >= CodeBits {
+			t.Fatalf("site %d: bad positions %v", i, bits)
+		}
+	}
+}
+
+// TestPlanValidate is the table-driven contract for Plan.Validate.
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"rates in range", Plan{BitFlipRate: 0.5, DoubleFlipRate: 1, DropRate: 0}, true},
+		{"negative rate", Plan{BitFlipRate: -0.1}, false},
+		{"rate above one", Plan{DropRate: 1.5}, false},
+		{"double above one", Plan{DoubleFlipRate: 2}, false},
+		{"dead bank in range", Plan{DeadBanks: []uint32{31}}, true},
+		{"dead bank out of range", Plan{DeadBanks: []uint32{32}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(2, 16)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestPlanRetryBounds checks the zero/negative MaxRetries conventions
+// and the capped exponential backoff.
+func TestPlanRetryBounds(t *testing.T) {
+	if got := (Plan{}).ResolvedMaxRetries(); got != DefaultMaxRetries {
+		t.Errorf("zero MaxRetries resolved to %d", got)
+	}
+	if got := (Plan{MaxRetries: -1}).ResolvedMaxRetries(); got != -1 {
+		t.Errorf("unlimited MaxRetries resolved to %d", got)
+	}
+	if got := (Plan{MaxRetries: 3}).ResolvedMaxRetries(); got != 3 {
+		t.Errorf("MaxRetries=3 resolved to %d", got)
+	}
+	p := Plan{Backoff: 2}
+	if got := p.BackoffDelay(1); got != 2 {
+		t.Errorf("BackoffDelay(1) = %d", got)
+	}
+	if got := p.BackoffDelay(3); got != 8 {
+		t.Errorf("BackoffDelay(3) = %d", got)
+	}
+	// Shift is capped, never overflowing into zero delays.
+	if got := p.BackoffDelay(100); got != 2<<MaxBackoffShift {
+		t.Errorf("BackoffDelay(100) = %d", got)
+	}
+}
+
+// TestDeadSet: sorted, deduplicated.
+func TestDeadSet(t *testing.T) {
+	p := Plan{DeadBanks: []uint32{5, 1, 5, 3, 1}}
+	got := p.DeadSet()
+	want := []uint32{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("DeadSet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DeadSet = %v", got)
+		}
+	}
+}
+
+// TestRecoverInvariant: an Invariantf panic converts to an error; a
+// foreign panic is re-raised.
+func TestRecoverInvariant(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverInvariant(&err)
+		Invariantf("testcomp", "value %d is broken", 7)
+		return nil
+	}
+	err := run()
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Component != "testcomp" {
+		t.Fatalf("recovered %v", err)
+	}
+
+	foreign := func() (err error) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("foreign panic was swallowed")
+			}
+		}()
+		defer RecoverInvariant(&err)
+		panic("not an invariant")
+	}
+	_ = foreign()
+}
+
+// TestErrorSentinels: every structured error matches its sentinel via
+// errors.Is.
+func TestErrorSentinels(t *testing.T) {
+	if !errors.Is(&DeadlockError{Cycle: 10, Stalled: 5, Dump: "d"}, ErrDeadlock) {
+		t.Error("DeadlockError does not match ErrDeadlock")
+	}
+	if !errors.Is(&UncorrectableError{Addr: 1, Bank: 2, Attempts: 3}, ErrUncorrectable) {
+		t.Error("UncorrectableError does not match ErrUncorrectable")
+	}
+	if !errors.Is(&BusFaultError{Channel: 0, Cmd: 1, Attempts: 9}, ErrBusFault) {
+		t.Error("BusFaultError does not match ErrBusFault")
+	}
+	if errors.Is(&DeadlockError{}, ErrBusFault) {
+		t.Error("sentinels cross-match")
+	}
+}
+
+// TestInactivePlanNoInjector: the zero plan builds no injector at all.
+func TestInactivePlanNoInjector(t *testing.T) {
+	if NewInjector(Plan{Seed: 99}) != nil {
+		t.Error("seed-only plan built an injector")
+	}
+	if NewInjector(Plan{BitFlipRate: 0.1}) == nil {
+		t.Error("active plan built no injector")
+	}
+}

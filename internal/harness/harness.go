@@ -10,6 +10,7 @@ import (
 
 	"pva/internal/addrmap"
 	"pva/internal/baseline"
+	"pva/internal/fault"
 	"pva/internal/kernels"
 	"pva/internal/memsys"
 	"pva/internal/pvaunit"
@@ -102,6 +103,13 @@ type Runner struct {
 	// AddrMap names the address decoder ("word", "line", "xor"); empty
 	// means the paper's word interleave.
 	AddrMap string
+	// Fault selects deterministic fault injection for the PVA systems
+	// under sweep (the serial baselines model no fault machinery and
+	// ignore it). The zero value injects nothing.
+	Fault fault.Plan
+	// Watchdog arms the PVA forward-progress watchdog, in cycles
+	// (0: disabled).
+	Watchdog uint64
 }
 
 // channels normalizes the channel count (0 means 1).
@@ -117,7 +125,8 @@ func (r Runner) channels() uint32 {
 // case takes the exact legacy construction path, keeping it bit-identical
 // to the paper configuration by code identity rather than by argument.
 func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
-	if r.channels() <= 1 && (r.AddrMap == "" || r.AddrMap == "word") {
+	if r.channels() <= 1 && (r.AddrMap == "" || r.AddrMap == "word") &&
+		!r.Fault.Active() && r.Watchdog == 0 {
 		return NewSystem(k)
 	}
 	switch k {
@@ -132,6 +141,8 @@ func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 		}
 		cfg.Channels = r.channels()
 		cfg.Decoder = dec
+		cfg.Fault = r.Fault
+		cfg.WatchdogCycles = r.Watchdog
 		return pvaunit.New(cfg)
 	case CacheLineSerial:
 		// A line-fill system parallelizes at line granularity whatever the

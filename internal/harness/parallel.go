@@ -8,10 +8,26 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// runPointSafe measures one cell, converting any panic escaping the
+// point (a kernel builder bug, a simulator invariant that slipped past
+// the Run-boundary recovery) into an error that names the failing cell.
+// Without this a panicking pool worker would kill the whole process
+// with a goroutine stack instead of failing the sweep.
+func (r Runner) runPointSafe(j job) (p Point, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("harness: panic in %s stride %d align %d on %s: %v",
+				j.kernel.Name, j.stride, j.alignment, j.system, rec)
+		}
+	}()
+	return r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+}
 
 // ParallelSweep measures the same cross product as Sweep using up to
 // workers goroutines (workers <= 0 selects runtime.NumCPU()). The
@@ -23,6 +39,13 @@ func (r Runner) ParallelSweep(kernelNames []string, strides []uint32, systems []
 	if err != nil {
 		return nil, err
 	}
+	return r.sweep(jobs, workers)
+}
+
+// sweep executes a planned job list over the pool; split from
+// ParallelSweep so tests can drive hand-built jobs (e.g. a kernel whose
+// builder panics) through the exact production worker path.
+func (r Runner) sweep(jobs []job, workers int) ([]Point, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -33,7 +56,7 @@ func (r Runner) ParallelSweep(kernelNames []string, strides []uint32, systems []
 		// One worker is exactly the serial sweep; skip the pool machinery.
 		points := make([]Point, len(jobs))
 		for i, j := range jobs {
-			p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+			p, err := r.runPointSafe(j)
 			if err != nil {
 				return nil, err
 			}
@@ -60,7 +83,7 @@ func (r Runner) ParallelSweep(kernelNames []string, strides []uint32, systems []
 					return
 				}
 				j := jobs[i]
-				p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+				p, err := r.runPointSafe(j)
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					failed.Store(true)

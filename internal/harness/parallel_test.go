@@ -2,7 +2,11 @@ package harness
 
 import (
 	"reflect"
+	"strings"
 	"testing"
+
+	"pva/internal/kernels"
+	"pva/internal/memsys"
 )
 
 // TestParallelSweepMatchesSerial requires the parallel engine to produce
@@ -36,5 +40,41 @@ func TestParallelSweepError(t *testing.T) {
 	r := Runner{Elements: 128}
 	if _, err := r.ParallelSweep([]string{"no-such-kernel"}, nil, nil, 4); err == nil {
 		t.Fatal("unknown kernel accepted")
+	}
+}
+
+// TestParallelSweepPanicPropagates drives a kernel whose builder panics
+// through the production worker pool and the serial fast path: the
+// sweep must fail with an error naming the failing cell, not kill the
+// process with a goroutine stack.
+func TestParallelSweepPanicPropagates(t *testing.T) {
+	bomb := kernels.Kernel{
+		Name:    "bomb",
+		Vectors: 1,
+		Build: func(p kernels.Params) memsys.Trace {
+			panic("builder exploded")
+		},
+	}
+	good, err := kernels.ByName("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []job
+	for s := uint32(1); s <= 8; s++ {
+		jobs = append(jobs, job{kernel: good, stride: s, alignment: 0, system: PVASDRAM})
+	}
+	jobs = append(jobs, job{kernel: bomb, stride: 19, alignment: 2, system: PVASDRAM})
+
+	r := Runner{Elements: 128}
+	for _, workers := range []int{1, 4} {
+		points, err := r.sweep(jobs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: panicking kernel produced %d points and no error", workers, len(points))
+		}
+		for _, want := range []string{"panic", "bomb", "stride 19", "align 2", "builder exploded"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: error %q does not identify the cell (%q missing)", workers, err, want)
+			}
+		}
 	}
 }

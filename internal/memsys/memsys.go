@@ -112,6 +112,15 @@ type Stats struct {
 	Precharges       uint64 `json:"precharges"`        // precharge operations (incl. auto-precharge)
 	RowHits          uint64 `json:"row_hits"`          // reads/writes that hit an already-open row
 	LineFills        uint64 `json:"line_fills"`        // whole cache-line fills (cache-line serial system)
+
+	// Fault-injection counters (all zero when the run's fault.Plan is
+	// the zero value).
+	CorrectedECC     uint64 `json:"corrected_ecc"`     // single-bit read errors corrected by SEC-DED
+	UncorrectedECC   uint64 `json:"uncorrected_ecc"`   // double-bit read errors detected (each triggers a replay)
+	ECCRetries       uint64 `json:"ecc_retries"`       // device-level read replays after a detected double flip
+	BusNACKs         uint64 `json:"bus_nacks"`         // vector-bus broadcasts dropped/NACKed
+	BusRetries       uint64 `json:"bus_retries"`       // broadcasts delivered on a retransmission
+	DegradedElements uint64 `json:"degraded_elements"` // elements serviced by the dead-bank serial fallback
 }
 
 // Result of executing a trace on a memory system.

@@ -43,6 +43,7 @@ import (
 	"pva/internal/bankctl"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/fault"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
 	"pva/internal/trace"
@@ -75,6 +76,19 @@ type Config struct {
 	// cycle counts are bit-identical either way (the skip only elides
 	// cycles in which no component changes state).
 	DisableIdleSkip bool
+
+	// Fault describes the run's fault injection (fault.Plan zero value:
+	// no faults, zero cost, bit-identical to a faultless build).
+	Fault fault.Plan
+
+	// WatchdogCycles arms the forward-progress watchdog: when the front
+	// end observes no protocol progress (issue, broadcast, gather,
+	// collect, fallback completion, retire) for this many consecutive
+	// cycles, Run returns a *fault.DeadlockError carrying a diagnostic
+	// dump instead of spinning. It must exceed the longest legitimate
+	// quiet period (a full-line SDRAM gather plus retry backoff); 0
+	// disables the watchdog and leaves only the MaxCycles backstop.
+	WatchdogCycles uint64
 }
 
 // PaperConfig returns the Section 5.1 prototype: one channel of 16
@@ -134,6 +148,9 @@ func New(cfg Config) (*System, error) {
 		}
 		cfg.Decoder = dec
 	}
+	if err := cfg.Fault.Validate(cfg.Channels, cfg.Banks); err != nil {
+		return nil, fmt.Errorf("pvaunit: %w", err)
+	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 50_000_000
 	}
@@ -177,8 +194,23 @@ type chanState struct {
 	gathered       bool   // read: this channel's transaction-complete line deasserted
 	stagingStarted bool   // read: STAGE_READ reserved on this channel
 	stageReadEnd   uint64
+	collected      bool // read: the staged line was collected from the live banks
 	done           bool // this channel's share of the command has retired
+
+	// Retry-with-backoff state for NACKed broadcasts.
+	attempts int    // transmissions NACKed so far
+	retryAt  uint64 // earliest cycle the next transmission may reserve the bus
+
+	// Serial fallback state for elements owned by offline bank
+	// controllers (degraded mode).
+	fbIdxs   []uint32 // element indices re-routed through the fallback engine
+	fbDoneAt uint64   // cycle the fallback finishes this command's share
+	fbDone   bool     // fallback complete (vacuously true when fbIdxs is empty)
 }
+
+// live returns the element count serviced by this channel's live bank
+// controllers (the rest re-route through the serial fallback).
+func (cs *chanState) live() uint32 { return cs.count - uint32(len(cs.fbIdxs)) }
 
 // cmdState tracks one trace command through the bus protocol.
 type cmdState struct {
@@ -190,8 +222,12 @@ type cmdState struct {
 	ch          []chanState // per channel
 }
 
-// Run implements memsys.System.
-func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
+// Run implements memsys.System. A broken simulator invariant anywhere in
+// the pipeline (bus, bank controller, staging unit) unwinds to this
+// boundary and is returned as a *fault.InvariantError instead of
+// crashing the caller.
+func (s *System) Run(t memsys.Trace) (res memsys.Result, err error) {
+	defer fault.RecoverInvariant(&err)
 	if err := t.Validate(); err != nil {
 		return memsys.Result{}, err
 	}
@@ -213,6 +249,11 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 	if r, ok := s.cfg.RowPolicy.(interface{ Reset() }); ok {
 		r.Reset()
 	}
+	inj := fault.NewInjector(s.cfg.Fault)
+	offline := make([]bool, C*M)
+	for _, db := range s.cfg.Fault.DeadSet() {
+		offline[db] = true
+	}
 	boards := make([]*bus.Board, C)
 	buses := make([]*bus.Bus, C)
 	bcs := make([][]*bankctl.BC, C)
@@ -229,6 +270,7 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 				RFEntries: s.cfg.RFEntries,
 				Policy:    s.cfg.Policy,
 				Observer:  s.cfg.Observer,
+				Injector:  inj,
 			}
 			if closedForm {
 				bcfg.Bank = b*C + ch
@@ -249,15 +291,32 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 			bcs[ch][b] = bc
 		}
 	}
-	fe := &frontEnd{
-		cfg:    s.cfg,
-		trace:  t,
-		state:  make([]cmdState, len(t.Cmds)),
-		boards: boards,
-		buses:  buses,
-		bcs:    bcs,
+	// Serial-fallback per-element cost: a degraded bank's elements are
+	// serviced one at a time over a dedicated maintenance path — each
+	// element pays a full closed-page SDRAM access (ACT + CAS + PRE) plus
+	// the transfer cycle; on the static variant only the transfer cycle.
+	fbCost := uint64(1)
+	if !s.cfg.Static {
+		fbCost += s.cfg.Timing.TRCD + s.cfg.Timing.CL + s.cfg.Timing.TRP
 	}
-	res, err := fe.run()
+	fe := &frontEnd{
+		cfg:       s.cfg,
+		trace:     t,
+		state:     make([]cmdState, len(t.Cmds)),
+		boards:    boards,
+		buses:     buses,
+		bcs:       bcs,
+		store:     s.store,
+		inj:       inj,
+		dropGuard: inj != nil && s.cfg.Fault.DropRate > 0,
+		offline:   offline,
+		fbCost:    fbCost,
+		fbBusy:    make([]uint64, C),
+		nacks:     make([]uint64, C),
+		retries:   make([]uint64, C),
+		fallbk:    make([]uint64, C),
+	}
+	res, err = fe.run()
 	if err != nil {
 		return memsys.Result{}, err
 	}
@@ -273,9 +332,15 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 			cs.Activates += ds.Activates
 			cs.Precharges += ds.Precharges
 			cs.RowHits += ds.RowHits
+			cs.CorrectedECC += ds.CorrectedECC
+			cs.UncorrectedECC += ds.UncorrectedECC
+			cs.ECCRetries += ds.ECCRetries
 		}
 		cs.BusBusyCycles = buses[ch].BusyCycles()
 		cs.TurnaroundCycles = buses[ch].TurnaroundCycles()
+		cs.BusNACKs = fe.nacks[ch]
+		cs.BusRetries = fe.retries[ch]
+		cs.DegradedElements = fe.fallbk[ch]
 		res.Stats.SDRAMReads += cs.SDRAMReads
 		res.Stats.SDRAMWrites += cs.SDRAMWrites
 		res.Stats.Activates += cs.Activates
@@ -283,6 +348,12 @@ func (s *System) Run(t memsys.Trace) (memsys.Result, error) {
 		res.Stats.RowHits += cs.RowHits
 		res.Stats.BusBusyCycles += cs.BusBusyCycles
 		res.Stats.TurnaroundCycles += cs.TurnaroundCycles
+		res.Stats.CorrectedECC += cs.CorrectedECC
+		res.Stats.UncorrectedECC += cs.UncorrectedECC
+		res.Stats.ECCRetries += cs.ECCRetries
+		res.Stats.BusNACKs += cs.BusNACKs
+		res.Stats.BusRetries += cs.BusRetries
+		res.Stats.DegradedElements += cs.DegradedElements
 	}
 	return res, nil
 }
@@ -300,6 +371,30 @@ type frontEnd struct {
 	lines     [][]uint32 // per command: gathered line (reads) or computed line (writes)
 	remaining int
 	lastDone  uint64
+
+	store *memsys.Store   // backing store (serial fallback bypasses the devices)
+	inj   *fault.Injector // nil: no fault injection anywhere
+
+	// dropGuard serializes conflicting broadcasts per channel when the
+	// fault plan can NACK them. On a reliable bus the ordering between
+	// conflicting commands is implied by reservation order; once a
+	// reserved broadcast can fail at delivery, a younger conflicting
+	// command must wait for the older one's broadcast to actually land.
+	dropGuard bool
+
+	// offline marks hard-faulted bank controllers (flat channel*M+bank):
+	// never ticked, never observed, their board lines deasserted at Open.
+	offline []bool
+	fbCost  uint64   // serial-fallback cost per element, in cycles
+	fbBusy  []uint64 // per channel: cycle the fallback engine frees up
+	nacks   []uint64 // per channel: broadcasts NACKed
+	retries []uint64 // per channel: broadcasts delivered on a retransmission
+	fallbk  []uint64 // per channel: elements serviced by the fallback
+
+	// lastProgress is the watchdog's heartbeat: the latest cycle any
+	// command issued, broadcast, gathered, collected, finished its
+	// fallback, or retired.
+	lastProgress uint64
 
 	// first is the completed-prefix frontier: every command before it has
 	// retired, so the per-cycle scans start there.
@@ -323,6 +418,13 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 	// channel, by the closed form where the decoder supports it.
 	C := int(fe.cfg.Channels)
 	M := int(fe.cfg.Banks)
+	anyOffline := false
+	for _, o := range fe.offline {
+		if o {
+			anyOffline = true
+			break
+		}
+	}
 	for i := range fe.state {
 		hits := addrmap.SplitVector(fe.cfg.Decoder, fe.trace.Cmds[i].V)
 		st := &fe.state[i]
@@ -330,13 +432,44 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 		for ch := 0; ch < C; ch++ {
 			st.ch[ch].count = hits[ch].Count
 			st.ch[ch].active = hits[ch].Count > 0
+			st.ch[ch].fbDone = true // until fallback elements are found below
+		}
+		if anyOffline {
+			// Degraded-mode routing: enumerate the elements owned by
+			// offline bank controllers; they re-route through the serial
+			// fallback engine and never reach a live bank.
+			v := fe.trace.Cmds[i].V
+			for e := uint32(0); e < v.Length; e++ {
+				co := fe.cfg.Decoder.Decode(v.Addr(e))
+				if fe.offline[int(co.Channel)*M+int(co.Bank)] {
+					cs := &st.ch[co.Channel]
+					cs.fbIdxs = append(cs.fbIdxs, e)
+					cs.fbDone = false
+				}
+			}
 		}
 	}
 	fe.wake = make([]uint64, C*M) // zero: everyone ticks at cycle 0
+	for w := range fe.wake {
+		if fe.offline[w] {
+			fe.wake[w] = bankctl.NoEvent
+		}
+	}
 	for cycle := uint64(0); fe.remaining > 0; {
 		if cycle > fe.cfg.MaxCycles {
-			return memsys.Result{}, fmt.Errorf("pvaunit: no forward progress after %d cycles (%d commands left)\n%s",
-				cycle, fe.remaining, fe.debugString())
+			return memsys.Result{}, &fault.DeadlockError{
+				Cycle:   cycle,
+				Stalled: cycle - fe.lastProgress,
+				Dump: fmt.Sprintf("pvaunit: MaxCycles=%d exhausted (%d commands left)\n%s",
+					fe.cfg.MaxCycles, fe.remaining, fe.debugString()),
+			}
+		}
+		if wd := fe.cfg.WatchdogCycles; wd > 0 && cycle > fe.lastProgress+wd {
+			return memsys.Result{}, &fault.DeadlockError{
+				Cycle:   cycle,
+				Stalled: cycle - fe.lastProgress,
+				Dump:    fe.debugString(),
+			}
 		}
 		if err := fe.step(cycle); err != nil {
 			return memsys.Result{}, err
@@ -349,6 +482,9 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 				// it next matters, so timing is bit-identical to the strict
 				// loop.
 				w := ch*M + b
+				if fe.offline[w] {
+					continue // hard-faulted: powered off, never ticked
+				}
 				if !fe.cfg.DisableIdleSkip && fe.wake[w] > cycle {
 					continue
 				}
@@ -374,6 +510,12 @@ func (fe *frontEnd) run() (memsys.Result, error) {
 		// have been pure counter increments, so cycle counts match the
 		// strict loop bit for bit.
 		if next := fe.nextWake(cycle); next > cycle {
+			// Never jump past an armed watchdog's deadline: the skip must
+			// not delay the deadlock report beyond the cycle at which the
+			// strict loop would raise it.
+			if wd := fe.cfg.WatchdogCycles; wd > 0 && next > fe.lastProgress+wd+1 {
+				next = fe.lastProgress + wd + 1
+			}
 			// A deadlocked system reports no wake at all; land just past
 			// the guard so the diagnostic above fires instead of jumping
 			// the clock to the end of time.
@@ -446,7 +588,11 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 					continue
 				}
 				if !cs.reserved {
-					upd(max(now, fe.buses[ch].BusyUntil()))
+					at := max(now, fe.buses[ch].BusyUntil())
+					if cs.retryAt > at {
+						at = cs.retryAt // backing off after a NACK
+					}
+					upd(at)
 					continue
 				}
 				if !cs.broadcastDone {
@@ -456,9 +602,14 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 					upd(cs.broadcastAt)
 					continue
 				}
+				if !cs.fbDone {
+					upd(cs.fbDoneAt)
+				}
 				switch c.Op {
 				case memsys.Read:
 					switch {
+					case cs.live() == 0:
+						// Fallback-only share: fbDoneAt above is the timer.
 					case !cs.gathered:
 						// The transaction-complete line deasserts during a
 						// bank controller Tick; once it has, the front end
@@ -468,11 +619,11 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 						}
 					case !cs.stagingStarted:
 						upd(max(now, fe.buses[ch].BusyUntil()))
-					default:
+					case !cs.collected:
 						upd(cs.stageReadEnd)
 					}
 				case memsys.Write:
-					if fe.boards[ch].AllDone(st.txn) {
+					if cs.fbDone && fe.boards[ch].AllDone(st.txn) {
 						upd(now)
 					}
 				}
@@ -503,8 +654,15 @@ func (fe *frontEnd) debugString() string {
 			if !cs.active {
 				continue
 			}
-			s += fmt.Sprintf(" ch%d{n=%d rsv=%v bcast=%v gathered=%v staging=%v done=%v}",
+			s += fmt.Sprintf(" ch%d{n=%d rsv=%v bcast=%v gathered=%v staging=%v done=%v",
 				ch, cs.count, cs.reserved, cs.broadcastDone, cs.gathered, cs.stagingStarted, cs.done)
+			if cs.attempts > 0 {
+				s += fmt.Sprintf(" nacks=%d retryAt=%d", cs.attempts, cs.retryAt)
+			}
+			if len(cs.fbIdxs) > 0 {
+				s += fmt.Sprintf(" fb=%d fbDone=%v", len(cs.fbIdxs), cs.fbDone)
+			}
+			s += "}"
 		}
 		s += "\n"
 	}
@@ -538,14 +696,43 @@ func (fe *frontEnd) step(now uint64) error {
 				continue
 			}
 			if c.Op == memsys.Write && cs.stageWriteEnd == now {
-				for _, bc := range fe.bcs[ch] {
+				M := len(fe.bcs[ch])
+				for b, bc := range fe.bcs[ch] {
+					if fe.offline[ch*M+b] {
+						continue
+					}
 					bc.StageWriteData(st.txn, st.line)
 				}
 			}
 			if cs.broadcastAt == now {
+				// The vector bus may NACK the broadcast (a dropped or
+				// corrupted command cycle): the front end releases its
+				// claim on the cycle, backs off exponentially, and
+				// retransmits — up to the plan's retry budget.
+				if fe.inj != nil && fe.inj.DropBroadcast(uint32(ch), i, cs.attempts) {
+					cs.attempts++
+					fe.nacks[ch]++
+					if max := fe.inj.MaxRetries(); max >= 0 && cs.attempts > max {
+						return &fault.BusFaultError{Channel: ch, Cmd: i, Attempts: cs.attempts}
+					}
+					cs.reserved = false
+					cs.retryAt = now + fe.inj.BackoffDelay(cs.attempts)
+					continue
+				}
+				if cs.attempts > 0 {
+					fe.retries[ch]++
+				}
 				fe.boards[ch].Open(st.txn)
 				M := len(fe.bcs[ch])
 				for b, bc := range fe.bcs[ch] {
+					if fe.offline[ch*M+b] {
+						// Hard-faulted controller: its wired-OR line would
+						// never deassert, so the dispatcher deasserts it at
+						// broadcast and re-routes the elements through the
+						// serial fallback below.
+						fe.boards[ch].Done(uint32(b), st.txn)
+						continue
+					}
 					// Catch a lazily-skipped controller up to the present
 					// before it timestamps the request, and force its Tick
 					// this cycle so the new work is scheduled on time.
@@ -558,6 +745,18 @@ func (fe *frontEnd) step(now uint64) error {
 					fe.wake[ch*M+b] = now
 				}
 				cs.broadcastDone = true
+				fe.progress(now)
+				if !cs.fbDone {
+					// Queue the degraded share on the channel's serial
+					// fallback engine (one element at a time, FIFO across
+					// commands).
+					start := now + 1
+					if fe.fbBusy[ch] > start {
+						start = fe.fbBusy[ch]
+					}
+					cs.fbDoneAt = start + fe.fbCost*uint64(len(cs.fbIdxs))
+					fe.fbBusy[ch] = cs.fbDoneAt
+				}
 				fe.observe(trace.Event{Cycle: now, Bank: -1, Kind: trace.Broadcast, Txn: st.txn})
 			}
 		}
@@ -582,26 +781,44 @@ func (fe *frontEnd) step(now uint64) error {
 				allDone = false
 				continue
 			}
+			if !cs.fbDone && now >= cs.fbDoneAt {
+				// The serial fallback finished this command's degraded
+				// share: move the data directly between the line buffer
+				// and the store (the maintenance path bypasses the dead
+				// bank's device — and its ECC pipeline).
+				fe.runFallback(i, st, ch)
+				cs.fbDone = true
+				fe.progress(now)
+			}
 			switch c.Op {
 			case memsys.Read:
 				if !cs.gathered && fe.boards[ch].AllDone(st.txn) {
 					cs.gathered = true
+					fe.progress(now)
 				}
-				if cs.stagingStarted && !cs.done && cs.stageReadEnd == now {
+				if cs.stagingStarted && !cs.collected && cs.stageReadEnd == now {
 					if st.line == nil {
 						st.line = make([]uint32, c.V.Length)
 					}
 					got := 0
-					for _, bc := range fe.bcs[ch] {
+					M := len(fe.bcs[ch])
+					for b, bc := range fe.bcs[ch] {
+						if fe.offline[ch*M+b] {
+							continue
+						}
 						got += bc.CollectRead(st.txn, st.line)
 					}
-					if got != int(cs.count) {
-						return fmt.Errorf("pvaunit: cmd %d channel %d staged %d of %d words", i, ch, got, cs.count)
+					if got != int(cs.live()) {
+						return fmt.Errorf("pvaunit: cmd %d channel %d staged %d of %d words", i, ch, got, cs.live())
 					}
+					cs.collected = true
+					fe.progress(now)
+				}
+				if cs.gathered && cs.fbDone && (cs.live() == 0 || cs.collected) {
 					cs.done = true
 				}
 			case memsys.Write:
-				if !cs.done && fe.boards[ch].AllDone(st.txn) {
+				if !cs.done && cs.fbDone && fe.boards[ch].AllDone(st.txn) {
 					cs.done = true
 				}
 			}
@@ -636,16 +853,19 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 		if !cs.active || !cs.gathered || cs.stagingStarted {
 			continue
 		}
+		if cs.live() == 0 {
+			continue // fallback-only share: nothing staged in live banks
+		}
 		cmdAt := chBus.Free(now, bus.Controller)
 		if err := chBus.Reserve(cmdAt, 1, bus.Controller); err != nil {
 			return err
 		}
 		dataAt := chBus.Free(cmdAt+1, bus.Banks)
-		if err := chBus.Reserve(dataAt, uint64(dataCycles(cs.count)), bus.Banks); err != nil {
+		if err := chBus.Reserve(dataAt, uint64(dataCycles(cs.live())), bus.Banks); err != nil {
 			return err
 		}
 		cs.stagingStarted = true
-		cs.stageReadEnd = dataAt + uint64(dataCycles(cs.count))
+		cs.stageReadEnd = dataAt + uint64(dataCycles(cs.live()))
 		fe.observe(trace.Event{Cycle: cmdAt, Bank: -1, Kind: trace.StageRead, Txn: st.txn})
 		return nil
 	}
@@ -658,6 +878,12 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 		cs := &st.ch[ch]
 		if !cs.active || cs.reserved {
 			continue
+		}
+		if cs.retryAt > now {
+			continue // backing off after a NACKed broadcast
+		}
+		if fe.dropGuard && fe.olderConflictPending(i, ch) {
+			continue // an older conflicting broadcast has not landed yet
 		}
 		c := &fe.trace.Cmds[i]
 		if !st.issued {
@@ -680,6 +906,7 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 			}
 			st.txn = txn
 			st.issued = true
+			fe.progress(now)
 			if c.Op == memsys.Write {
 				data, err := memsys.WriteData(*c, fe.lines)
 				if err != nil {
@@ -714,6 +941,37 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 	return nil
 }
 
+// progress records a forward-progress heartbeat for the watchdog.
+func (fe *frontEnd) progress(now uint64) {
+	if now > fe.lastProgress {
+		fe.lastProgress = now
+	}
+}
+
+// runFallback completes command i's degraded share on channel ch: the
+// serial maintenance path moves the offline banks' elements directly
+// between the line buffer and the backing store. Ordering with live-bank
+// traffic is safe because an element's home bank never changes — a word
+// behind a dead bank is *always* serviced here, in broadcast (program)
+// order per channel.
+func (fe *frontEnd) runFallback(i int, st *cmdState, ch int) {
+	c := &fe.trace.Cmds[i]
+	cs := &st.ch[ch]
+	if c.Op == memsys.Read {
+		if st.line == nil {
+			st.line = make([]uint32, c.V.Length)
+		}
+		for _, e := range cs.fbIdxs {
+			st.line[e] = fe.store.Read(c.V.Addr(e))
+		}
+	} else {
+		for _, e := range cs.fbIdxs {
+			fe.store.Write(c.V.Addr(e), st.line[e])
+		}
+	}
+	fe.fallbk[ch] += uint64(len(cs.fbIdxs))
+}
+
 // observe forwards a bus-level event to the configured sink.
 func (fe *frontEnd) observe(e trace.Event) {
 	if fe.cfg.Observer != nil {
@@ -733,12 +991,17 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 	for _, board := range fe.boards {
 		board.Release(st.txn)
 	}
-	for _, row := range fe.bcs {
-		for _, bc := range row {
+	M := int(fe.cfg.Banks)
+	for ch, row := range fe.bcs {
+		for b, bc := range row {
+			if fe.offline[ch*M+b] {
+				continue
+			}
 			bc.Release(st.txn)
 		}
 	}
 	fe.remaining--
+	fe.progress(now)
 	if now > fe.lastDone {
 		fe.lastDone = now
 	}
@@ -753,6 +1016,34 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 // aliasing commands — within a bank controller the polarity rule of
 // Section 5.2.4 provides this guarantee, but only for commands that
 // arrive in order.
+// olderConflictPending reports whether an earlier incomplete command
+// that may touch the same words as command i has yet to deliver its
+// broadcast on this channel. The banks order conflicting accesses by
+// broadcast arrival, and the serial fallback chains in broadcast order,
+// so on a lossy bus (where even a reserved tenure can be NACKed at
+// delivery) a younger conflicting command must hold its reservation
+// until every older conflicting broadcast has actually landed. On a
+// reliable bus reservation order alone implies arrival order, so this
+// guard is never consulted there and fault-free timing is unchanged.
+func (fe *frontEnd) olderConflictPending(i, ch int) bool {
+	c := &fe.trace.Cmds[i]
+	for e := fe.first; e < i; e++ {
+		est := &fe.state[e]
+		if est.completed {
+			continue
+		}
+		ecs := &est.ch[ch]
+		if !ecs.active || ecs.broadcastDone {
+			continue
+		}
+		ec := &fe.trace.Cmds[e]
+		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
+			return true
+		}
+	}
+	return false
+}
+
 func (fe *frontEnd) eligible(i int) (bool, error) {
 	c := &fe.trace.Cmds[i]
 	for _, d := range c.DependsOn {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"pva/internal/addr"
+	"pva/internal/fault"
 	"pva/internal/memsys"
 )
 
@@ -104,10 +105,14 @@ type Request struct {
 	Tag   uint64 // caller cookie returned with read data
 }
 
-// ReadResult is one word of read data leaving the device.
+// ReadResult is one word of read data leaving the device. A non-nil
+// Err marks a poisoned word: every ECC replay of the array read came
+// back with a detected double-bit error (Err is a
+// *fault.UncorrectableError), and Data must not be used.
 type ReadResult struct {
 	Data uint32
 	Tag  uint64
+	Err  error
 }
 
 // bankState is the internal-bank state machine.
@@ -132,6 +137,11 @@ type Stats struct {
 	Writes     uint64
 	RowHits    uint64 // reads+writes issued to a row opened by an earlier access
 	Refreshes  uint64
+
+	// Fault-path counters (zero unless an injector is installed).
+	CorrectedECC   uint64 // single-bit flips corrected by SEC-DED
+	UncorrectedECC uint64 // double-bit flips detected (each triggers a replay or poisons the word)
+	ECCRetries     uint64 // array-read replays after an uncorrectable detection
 }
 
 // Device is one external bank: a 32-bit wide SDRAM with internal banks.
@@ -161,6 +171,10 @@ type Device struct {
 	refreshDebt int64  // refresh obligations accrued minus performed
 	nextRefresh uint64 // cycle at which the next obligation accrues
 
+	// inj, when non-nil, injects transient read faults; the read path
+	// then runs every array read through the SEC-DED codec.
+	inj *fault.Injector
+
 	// firstAccess tracks whether each bank's open row has already been
 	// accessed, for RowHits accounting.
 	accessed []bool
@@ -169,6 +183,57 @@ type Device struct {
 type pipeEntry struct {
 	at  uint64
 	res ReadResult
+}
+
+// uncorrectableCap bounds the replay loop when the plan asks for
+// unlimited retries, so a pathological plan (double-flip rate 1.0)
+// terminates with a poisoned word instead of spinning.
+const uncorrectableCap = 1 << 16
+
+// pushRead runs one array read through the (optional) fault path and
+// enqueues the result on the CL-deep output pipeline. Clean path: the
+// stored word, CL cycles out. Faulty path: the word is encoded through
+// the SEC-DED codec and the injector's flips applied — single-bit
+// errors are corrected in place at no latency cost; a detected
+// double-bit error replays the array read after an exponential backoff,
+// and a read still dirty past the retry bound is delivered poisoned
+// (ReadResult.Err) for the controller to surface.
+func (d *Device) pushRead(a uint32, tag uint64) {
+	at := d.cycle + d.timing.CL
+	if d.inj == nil {
+		d.pipe = append(d.pipe, pipeEntry{at: at, res: ReadResult{Data: d.store.Read(a), Tag: tag}})
+		return
+	}
+	data := d.store.Read(a)
+	maxRetries := d.inj.MaxRetries()
+	for attempt := 0; ; attempt++ {
+		flips := d.inj.ReadFault(d.base, d.cycle, a, attempt)
+		if len(flips) == 0 {
+			d.pipe = append(d.pipe, pipeEntry{at: at, res: ReadResult{Data: data, Tag: tag}})
+			return
+		}
+		code := fault.Encode(data)
+		for _, b := range flips {
+			code ^= 1 << b
+		}
+		decoded, status := fault.Decode(code)
+		if status == fault.ECCCorrected {
+			d.stats.CorrectedECC++
+			d.pipe = append(d.pipe, pipeEntry{at: at, res: ReadResult{Data: decoded, Tag: tag}})
+			return
+		}
+		d.stats.UncorrectedECC++
+		exhausted := maxRetries >= 0 && attempt >= maxRetries
+		if exhausted || attempt >= uncorrectableCap {
+			d.pipe = append(d.pipe, pipeEntry{at: at, res: ReadResult{
+				Tag: tag,
+				Err: &fault.UncorrectableError{Addr: a, Bank: d.base, Attempts: attempt + 1},
+			}})
+			return
+		}
+		d.stats.ECCRetries++
+		at += d.inj.BackoffDelay(attempt + 1)
+	}
 }
 
 // New returns a device for external bank number bank of an M-bank
@@ -241,6 +306,13 @@ func (d *Device) BankReadyAt(ib uint32) uint64 { return d.banks[ib].readyAt }
 // default.
 func (d *Device) SetCompose(f func(bankWord uint32) uint32) { d.compose = f }
 
+// SetInjector installs a fault injector on the read path (nil: faults
+// off). With an injector, every array read is encoded through the
+// SEC-DED codec, injected bit flips are corrected or detected, and
+// uncorrectable words are replayed with backoff up to the plan's retry
+// bound.
+func (d *Device) SetInjector(in *fault.Injector) { d.inj = in }
+
 // wordAddr converts device coordinates back to the global word address.
 func (d *Device) wordAddr(c addr.Coord) uint32 {
 	if d.compose != nil {
@@ -257,24 +329,24 @@ func (d *Device) Issue(r Request) error {
 		return nil
 	}
 	if d.issued {
-		return fmt.Errorf("sdram: second command %v in cycle %d", r.Cmd, d.cycle)
+		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "second command %v in cycle %d", r.Cmd, d.cycle)
 	}
 	if r.IBank >= uint32(len(d.banks)) {
-		return fmt.Errorf("sdram: internal bank %d out of range", r.IBank)
+		return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "internal bank %d out of range", r.IBank)
 	}
 	if d.static {
 		return d.issueStatic(r)
 	}
 	if r.Cmd != Refresh && d.timing.RefreshInterval > 0 && d.refreshDebt > MaxPostponedRefreshes {
-		return fmt.Errorf("sdram: refresh starved at cycle %d (debt %d)", d.cycle, d.refreshDebt)
+		return violation(ViolationRefresh, r.Cmd, r.IBank, d.cycle, "refresh starved at cycle %d (debt %d)", d.cycle, d.refreshDebt)
 	}
 	if r.Cmd == Refresh {
 		for i := range d.banks {
 			if d.banks[i].state != idle {
-				return fmt.Errorf("sdram: REF with internal bank %d open at cycle %d", i, d.cycle)
+				return violation(ViolationRefresh, r.Cmd, uint32(i), d.cycle, "REF with internal bank %d open at cycle %d", i, d.cycle)
 			}
 			if d.cycle < d.banks[i].readyAt {
-				return fmt.Errorf("sdram: REF during precharge of internal bank %d at cycle %d", i, d.cycle)
+				return violation(ViolationRefresh, r.Cmd, uint32(i), d.cycle, "REF during precharge of internal bank %d at cycle %d", i, d.cycle)
 			}
 		}
 		for i := range d.banks {
@@ -292,13 +364,13 @@ func (d *Device) Issue(r Request) error {
 	switch r.Cmd {
 	case Activate:
 		if b.state != idle {
-			return fmt.Errorf("sdram: ACT to open internal bank %d (row %d open) at cycle %d", r.IBank, b.row, d.cycle)
+			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "ACT to open internal bank %d (row %d open) at cycle %d", r.IBank, b.row, d.cycle)
 		}
 		if d.cycle < b.readyAt {
-			return fmt.Errorf("sdram: ACT to internal bank %d during precharge (tRP) at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "ACT to internal bank %d during precharge (tRP) at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
 		}
 		if r.Row >= d.geom.Rows {
-			return fmt.Errorf("sdram: row %d out of range", r.Row)
+			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "row %d out of range", r.Row)
 		}
 		b.state = active
 		b.row = r.Row
@@ -307,25 +379,22 @@ func (d *Device) Issue(r Request) error {
 		d.stats.Activates++
 	case Read, Write:
 		if b.state != active {
-			return fmt.Errorf("sdram: %v to precharged internal bank %d at cycle %d", r.Cmd, r.IBank, d.cycle)
+			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "%v to precharged internal bank %d at cycle %d", r.Cmd, r.IBank, d.cycle)
 		}
 		if d.cycle < b.readyAt {
-			return fmt.Errorf("sdram: %v to internal bank %d before tRCD at cycle %d < %d", r.Cmd, r.IBank, d.cycle, b.readyAt)
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "%v to internal bank %d before tRCD at cycle %d < %d", r.Cmd, r.IBank, d.cycle, b.readyAt)
 		}
 		if r.Col >= d.geom.RowWords {
-			return fmt.Errorf("sdram: column %d out of range", r.Col)
+			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "column %d out of range", r.Col)
 		}
 		if r.Row != b.row {
 			// The real device would silently access the open row; the
 			// simulator treats a mismatched scheduler intent as a bug.
-			return fmt.Errorf("sdram: %v intends row %d but internal bank %d has row %d open", r.Cmd, r.Row, r.IBank, b.row)
+			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "%v intends row %d but internal bank %d has row %d open", r.Cmd, r.Row, r.IBank, b.row)
 		}
 		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: b.row, Col: r.Col})
 		if r.Cmd == Read {
-			d.pipe = append(d.pipe, pipeEntry{
-				at:  d.cycle + d.timing.CL,
-				res: ReadResult{Data: d.store.Read(a), Tag: r.Tag},
-			})
+			d.pushRead(a, r.Tag)
 			d.stats.Reads++
 		} else {
 			d.store.Write(a, r.Data)
@@ -342,16 +411,16 @@ func (d *Device) Issue(r Request) error {
 		}
 	case Precharge:
 		if b.state != active {
-			return fmt.Errorf("sdram: PRE to precharged internal bank %d at cycle %d", r.IBank, d.cycle)
+			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "PRE to precharged internal bank %d at cycle %d", r.IBank, d.cycle)
 		}
 		if d.cycle < b.readyAt {
-			return fmt.Errorf("sdram: PRE to internal bank %d before tRCD at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "PRE to internal bank %d before tRCD at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
 		}
 		b.state = idle
 		b.readyAt = d.cycle + d.timing.TRP
 		d.stats.Precharges++
 	default:
-		return fmt.Errorf("sdram: unknown command %d", uint8(r.Cmd))
+		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "unknown command %d", uint8(r.Cmd))
 	}
 	d.issued = true
 	d.lastIssue = d.cycle
@@ -364,21 +433,18 @@ func (d *Device) issueStatic(r Request) error {
 	switch r.Cmd {
 	case Read, Write:
 		if r.Col >= d.geom.RowWords || r.Row >= d.geom.Rows {
-			return fmt.Errorf("sdram: static access out of range (row %d col %d)", r.Row, r.Col)
+			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "static access out of range (row %d col %d)", r.Row, r.Col)
 		}
 		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: r.Row, Col: r.Col})
 		if r.Cmd == Read {
-			d.pipe = append(d.pipe, pipeEntry{
-				at:  d.cycle + d.timing.CL,
-				res: ReadResult{Data: d.store.Read(a), Tag: r.Tag},
-			})
+			d.pushRead(a, r.Tag)
 			d.stats.Reads++
 		} else {
 			d.store.Write(a, r.Data)
 			d.stats.Writes++
 		}
 	default:
-		return fmt.Errorf("sdram: %v illegal on static (SRAM) device", r.Cmd)
+		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "%v illegal on static (SRAM) device", r.Cmd)
 	}
 	d.issued = true
 	d.lastIssue = d.cycle

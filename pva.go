@@ -33,6 +33,7 @@ import (
 	"pva/internal/bankctl"
 	"pva/internal/baseline"
 	"pva/internal/core"
+	"pva/internal/fault"
 	"pva/internal/hotrow"
 	"pva/internal/memsys"
 	"pva/internal/pvaunit"
@@ -64,6 +65,26 @@ type (
 const (
 	Read  = memsys.Read
 	Write = memsys.Write
+)
+
+// FaultPlan describes a run's deterministic fault injection: seed-driven
+// transient bit flips corrected by SEC-DED ECC on the SDRAM read path,
+// dropped vector-bus broadcasts recovered by bounded retry-with-backoff,
+// and hard-faulted bank controllers whose elements re-route through a
+// serial fallback path. The zero value disables every fault mechanism
+// and costs nothing.
+type FaultPlan = fault.Plan
+
+// Sentinel errors for the structured failure modes fault injection can
+// surface from System.Run; match with errors.Is.
+var (
+	// ErrDeadlock: the forward-progress watchdog fired (see
+	// Config.WatchdogCycles); the error carries a diagnostic dump.
+	ErrDeadlock = fault.ErrDeadlock
+	// ErrUncorrectable: a read stayed dirty past the ECC replay budget.
+	ErrUncorrectable = fault.ErrUncorrectable
+	// ErrBusFault: a broadcast stayed NACKed past the retry budget.
+	ErrBusFault = fault.ErrBusFault
 )
 
 // Config selects the PVA memory-system parameters. The zero value of
@@ -107,6 +128,17 @@ type Config struct {
 	// bit-identical either way; the toggle exists for cross-checking and
 	// benchmarking the skip machinery itself.
 	DisableIdleSkip bool
+
+	// FaultPlan selects deterministic fault injection for every run on
+	// the system. The zero value injects nothing and is guaranteed
+	// bit-identical (cycles and data) to a faultless build.
+	FaultPlan FaultPlan
+
+	// WatchdogCycles arms the forward-progress watchdog: a run making no
+	// protocol progress for this many cycles returns an error matching
+	// ErrDeadlock, with a diagnostic dump, instead of spinning until the
+	// MaxCycles backstop. 0 disables the watchdog.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the paper's prototype parameters.
@@ -157,7 +189,36 @@ func (c Config) fill() Config {
 	return c
 }
 
+// Validate checks the configuration up front, before any system is
+// built: interleaving requires power-of-two bank, channel, and line-word
+// counts, the transaction-complete board is a wired-OR of at most 64
+// lines per channel, and the fault plan's rates and dead-bank indices
+// must be in range. Zero-valued fields are filled with the paper's
+// defaults first, so DefaultConfig() and the zero Config both validate.
+func (c Config) Validate() error {
+	c = c.fill()
+	if c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("pva: Banks=%d is not a power of two", c.Banks)
+	}
+	if c.Banks > 64 {
+		return fmt.Errorf("pva: Banks=%d exceeds the 64-line transaction-complete board", c.Banks)
+	}
+	if c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("pva: Channels=%d is not a power of two", c.Channels)
+	}
+	if c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("pva: LineWords=%d is not a power of two", c.LineWords)
+	}
+	if err := c.FaultPlan.Validate(c.Channels, c.Banks); err != nil {
+		return fmt.Errorf("pva: %w", err)
+	}
+	return nil
+}
+
 func (c Config) toInternal(static bool) (pvaunit.Config, error) {
+	if err := c.Validate(); err != nil {
+		return pvaunit.Config{}, err
+	}
 	c = c.fill()
 	sg, err := addr.NewSDRAMGeom(c.InternalBanks, c.RowWords, c.Rows)
 	if err != nil {
@@ -181,6 +242,8 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 		VCWindow:        c.VCWindow,
 		RFEntries:       c.RFEntries,
 		DisableIdleSkip: c.DisableIdleSkip,
+		Fault:           c.FaultPlan,
+		WatchdogCycles:  c.WatchdogCycles,
 	}
 	switch c.Policy {
 	case "", "paper":
