@@ -11,6 +11,7 @@
 //	sweep -workers 1      # force the serial engine (0: one per CPU)
 //	sweep -json           # raw measured points as JSON
 //	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
+//	sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +29,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		kernelsFlag  = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 		elements     = flag.Uint("elements", 1024, "elements per application vector")
@@ -38,8 +45,41 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
 		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			}
+		}()
+	}
 
 	var names []string
 	if *kernelsFlag != "" {
@@ -64,34 +104,33 @@ func main() {
 		channels, err := parseChannels(*channelsFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		points, err := pva.ChannelSweep(names, nil, channels, nil, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *jsonOut {
-			emitJSON(points)
-			return
+			return emitJSON(points)
 		}
 		pva.RenderChannelScaling(os.Stdout, points)
 		fmt.Printf("%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
-		return
+		return 0
 	}
 
 	points, err := pva.SweepWithOptions(names, nil, nil, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if *jsonOut {
-		emitJSON(points)
-		return
+		return emitJSON(points)
 	}
 	pva.Figures(os.Stdout, points)
 	fmt.Printf("%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
 		map[bool]string{true: " (verified against reference)", false: ""}[*verify])
+	return 0
 }
 
 func parseChannels(s string) ([]uint32, error) {
@@ -106,11 +145,12 @@ func parseChannels(s string) ([]uint32, error) {
 	return out, nil
 }
 
-func emitJSON(v any) {
+func emitJSON(v any) int {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

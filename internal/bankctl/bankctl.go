@@ -33,6 +33,7 @@ import (
 	"pva/internal/addr"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/engine"
 	"pva/internal/fault"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
@@ -280,7 +281,12 @@ func (bc *BC) Tick() error {
 
 // NoEvent is returned by NextEventAt when the controller is fully idle
 // and, absent a new broadcast, will never need another cycle.
-const NoEvent = ^uint64(0)
+const NoEvent = engine.NoEvent
+
+// A bank controller is a clocked component of the shared simulation
+// engine: the front end registers every live BC and lets the engine's
+// lazy ticking and idle skipping drive it.
+var _ engine.Clocked = (*BC)(nil)
 
 // NextEventAt returns the earliest cycle at which this controller must
 // execute a real Tick: the current cycle while any queued or in-flight

@@ -14,14 +14,84 @@
 //
 // Both execute vector-command traces strictly serially in program order,
 // which trivially satisfies every dependency, and both move real data so
-// the shared correctness tests apply to them too.
+// the shared correctness tests apply to them too. Since the streaming
+// refactor they run on the shared clocked engine (internal/engine) like
+// every other system: a serialDriver walks the trace one command at a
+// time and the engine's idle skipping collapses each command's cost to a
+// single scheduling step, so total cycles are exactly the historical
+// sum-of-costs.
 package baseline
 
 import (
+	"fmt"
+
 	"pva/internal/addrmap"
+	"pva/internal/engine"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
 )
+
+// serialDriver runs a trace strictly serially on the clocked engine:
+// command i occupies cycles [S, S+cost) and its data moves when it
+// completes, exactly the in-order semantics both baselines share. The
+// cost callback is consulted once, when the command starts; apply fires
+// once, when it completes.
+type serialDriver struct {
+	cmds  []memsys.VectorCmd
+	cost  func(c memsys.VectorCmd) uint64
+	apply func(i int, c memsys.VectorCmd) error
+
+	i        int    // next command to start (or the one in flight)
+	active   bool   // command i is in flight
+	doneAt   uint64 // cycle the in-flight command completes
+	finished uint64 // completion cycle of the last finished command
+}
+
+// Step implements engine.Driver.
+func (d *serialDriver) Step(now uint64) error {
+	if d.active && now == d.doneAt {
+		if err := d.apply(d.i, d.cmds[d.i]); err != nil {
+			return err
+		}
+		d.finished = now
+		d.i++
+		d.active = false
+	}
+	if !d.active && d.i < len(d.cmds) {
+		d.doneAt = now + d.cost(d.cmds[d.i])
+		d.active = true
+	}
+	return nil
+}
+
+// NextWake implements engine.Driver: nothing happens before the
+// in-flight command completes, so the engine skips straight there.
+func (d *serialDriver) NextWake(now uint64) uint64 {
+	if d.active {
+		return d.doneAt
+	}
+	return now
+}
+
+// Done implements engine.Driver.
+func (d *serialDriver) Done() bool { return d.i >= len(d.cmds) }
+
+// Progress implements engine.Driver.
+func (d *serialDriver) Progress() uint64 { return d.finished }
+
+// DebugDump implements engine.Driver.
+func (d *serialDriver) DebugDump() string {
+	return fmt.Sprintf("baseline: command %d of %d in flight (doneAt=%d)", d.i, len(d.cmds), d.doneAt)
+}
+
+// runSerial executes the trace on a fresh engine and returns the total
+// cycle count (the completion cycle of the last command).
+func runSerial(d *serialDriver) (uint64, error) {
+	if err := engine.New(engine.Config{}, d).Run(); err != nil {
+		return 0, err
+	}
+	return d.finished, nil
+}
 
 // CacheLineSerial is the conventional line-fill memory system.
 type CacheLineSerial struct {
@@ -67,23 +137,34 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	}
 	lines := make([][]uint32, len(t.Cmds))
 	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
-	for i, c := range t.Cmds {
-		touched := s.linesTouched(c)
-		res.Stats.LineFills += touched
-		res.Cycles += s.fillTime(c, touched)
-		switch c.Op {
-		case memsys.Read:
-			lines[i] = s.store.Gather(c.V)
-			res.ReadData[i] = lines[i]
-		case memsys.Write:
-			data, err := memsys.WriteData(c, lines)
-			if err != nil {
-				return memsys.Result{}, err
+	d := &serialDriver{
+		cmds: t.Cmds,
+		cost: func(c memsys.VectorCmd) uint64 {
+			touched := s.linesTouched(c)
+			res.Stats.LineFills += touched
+			return s.fillTime(c, touched)
+		},
+		apply: func(i int, c memsys.VectorCmd) error {
+			switch c.Op {
+			case memsys.Read:
+				lines[i] = s.store.Gather(c.V)
+				res.ReadData[i] = lines[i]
+			case memsys.Write:
+				data, err := memsys.WriteData(c, lines)
+				if err != nil {
+					return err
+				}
+				lines[i] = data
+				s.store.Scatter(c.V, data)
 			}
-			lines[i] = data
-			s.store.Scatter(c.V, data)
-		}
+			return nil
+		},
 	}
+	cycles, err := runSerial(d)
+	if err != nil {
+		return memsys.Result{}, err
+	}
+	res.Cycles = cycles
 	res.Stats.BusBusyCycles = res.Cycles
 	return res, nil
 }
@@ -178,25 +259,36 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	startup := s.Timing.TRP + s.Timing.TRCD + s.Timing.CL
 	lines := make([][]uint32, len(t.Cmds))
 	res := memsys.Result{ReadData: make([][]uint32, len(t.Cmds))}
-	for i, c := range t.Cmds {
-		res.Cycles += startup + s.expandTime(c)
-		res.Stats.Precharges++
-		res.Stats.Activates++
-		switch c.Op {
-		case memsys.Read:
-			lines[i] = s.store.Gather(c.V)
-			res.ReadData[i] = lines[i]
-			res.Stats.SDRAMReads += uint64(c.V.Length)
-		case memsys.Write:
-			data, err := memsys.WriteData(c, lines)
-			if err != nil {
-				return memsys.Result{}, err
+	d := &serialDriver{
+		cmds: t.Cmds,
+		cost: func(c memsys.VectorCmd) uint64 {
+			res.Stats.Precharges++
+			res.Stats.Activates++
+			return startup + s.expandTime(c)
+		},
+		apply: func(i int, c memsys.VectorCmd) error {
+			switch c.Op {
+			case memsys.Read:
+				lines[i] = s.store.Gather(c.V)
+				res.ReadData[i] = lines[i]
+				res.Stats.SDRAMReads += uint64(c.V.Length)
+			case memsys.Write:
+				data, err := memsys.WriteData(c, lines)
+				if err != nil {
+					return err
+				}
+				lines[i] = data
+				s.store.Scatter(c.V, data)
+				res.Stats.SDRAMWrites += uint64(c.V.Length)
 			}
-			lines[i] = data
-			s.store.Scatter(c.V, data)
-			res.Stats.SDRAMWrites += uint64(c.V.Length)
-		}
+			return nil
+		},
 	}
+	cycles, err := runSerial(d)
+	if err != nil {
+		return memsys.Result{}, err
+	}
+	res.Cycles = cycles
 	res.Stats.BusBusyCycles = res.Cycles
 	return res, nil
 }

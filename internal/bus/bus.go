@@ -18,8 +18,14 @@ package bus
 import (
 	"fmt"
 
+	"pva/internal/engine"
 	"pva/internal/fault"
 )
+
+// The bus is a passive timed resource on the shared simulation engine:
+// it never ticks, but its tenure end is a decision point the engine's
+// idle skipping must respect.
+var _ engine.EventSource = (*Bus)(nil)
 
 // Command is a vector bus command code (the two-bit command of the
 // request cycle).
@@ -119,6 +125,11 @@ func (b *Bus) Reserve(start, cycles uint64, owner Owner) error {
 
 // BusyUntil returns the exclusive end of the current tenure.
 func (b *Bus) BusyUntil() uint64 { return b.busyUntil }
+
+// NextEventAt implements engine.EventSource: the bus's next decision
+// point is the cycle its current tenure drains — the first cycle a new
+// reservation may be considered.
+func (b *Bus) NextEventAt() uint64 { return b.busyUntil }
 
 // BusyCycles returns total cycles the bus carried traffic.
 func (b *Bus) BusyCycles() uint64 { return b.busyCycles }

@@ -72,30 +72,41 @@ type Trace struct {
 // strictly earlier, writes with exactly one data source, lengths positive.
 func (t Trace) Validate() error {
 	for i, c := range t.Cmds {
-		if c.V.Length == 0 {
-			return fmt.Errorf("memsys: cmd %d has zero length", i)
+		if err := ValidateCmd(c, i); err != nil {
+			return err
 		}
-		for _, d := range c.DependsOn {
-			if d < 0 || d >= i {
-				return fmt.Errorf("memsys: cmd %d depends on %d (out of order)", i, d)
-			}
+	}
+	return nil
+}
+
+// ValidateCmd checks one command as the i-th of a sequence: length
+// positive, dependencies strictly earlier than i, writes with exactly
+// one data source. Streaming front ends use it to validate commands at
+// admission, where i counts the commands already accepted.
+func ValidateCmd(c VectorCmd, i int) error {
+	if c.V.Length == 0 {
+		return fmt.Errorf("memsys: cmd %d has zero length", i)
+	}
+	for _, d := range c.DependsOn {
+		if d < 0 || d >= i {
+			return fmt.Errorf("memsys: cmd %d depends on %d (out of order)", i, d)
 		}
-		switch c.Op {
-		case Read:
-			if c.Compute != nil || c.Data != nil {
-				return fmt.Errorf("memsys: read cmd %d carries write data", i)
-			}
-		case Write:
-			// Exactly one data source: Compute or preset Data, not both.
-			if c.Compute != nil && c.Data != nil {
-				return fmt.Errorf("memsys: write cmd %d carries both Compute and preset Data", i)
-			}
-			if c.Compute == nil && uint32(len(c.Data)) != c.V.Length {
-				return fmt.Errorf("memsys: write cmd %d has %d data words, want %d", i, len(c.Data), c.V.Length)
-			}
-		default:
-			return fmt.Errorf("memsys: cmd %d has unknown op %d", i, c.Op)
+	}
+	switch c.Op {
+	case Read:
+		if c.Compute != nil || c.Data != nil {
+			return fmt.Errorf("memsys: read cmd %d carries write data", i)
 		}
+	case Write:
+		// Exactly one data source: Compute or preset Data, not both.
+		if c.Compute != nil && c.Data != nil {
+			return fmt.Errorf("memsys: write cmd %d carries both Compute and preset Data", i)
+		}
+		if c.Compute == nil && uint32(len(c.Data)) != c.V.Length {
+			return fmt.Errorf("memsys: write cmd %d has %d data words, want %d", i, len(c.Data), c.V.Length)
+		}
+	default:
+		return fmt.Errorf("memsys: cmd %d has unknown op %d", i, c.Op)
 	}
 	return nil
 }
@@ -121,6 +132,28 @@ type Stats struct {
 	BusNACKs         uint64 `json:"bus_nacks"`         // vector-bus broadcasts dropped/NACKed
 	BusRetries       uint64 `json:"bus_retries"`       // broadcasts delivered on a retransmission
 	DegradedElements uint64 `json:"degraded_elements"` // elements serviced by the dead-bank serial fallback
+}
+
+// Merge accumulates another Stats into s, counter by counter. It is the
+// one aggregation everyone uses — per-channel counters into run totals,
+// per-device counters into channel counters, per-point counters into
+// sweep summaries — so a new counter added to Stats is folded everywhere
+// by updating this method alone.
+func (s *Stats) Merge(o Stats) {
+	s.BusBusyCycles += o.BusBusyCycles
+	s.TurnaroundCycles += o.TurnaroundCycles
+	s.SDRAMReads += o.SDRAMReads
+	s.SDRAMWrites += o.SDRAMWrites
+	s.Activates += o.Activates
+	s.Precharges += o.Precharges
+	s.RowHits += o.RowHits
+	s.LineFills += o.LineFills
+	s.CorrectedECC += o.CorrectedECC
+	s.UncorrectedECC += o.UncorrectedECC
+	s.ECCRetries += o.ECCRetries
+	s.BusNACKs += o.BusNACKs
+	s.BusRetries += o.BusRetries
+	s.DegradedElements += o.DegradedElements
 }
 
 // Result of executing a trace on a memory system.

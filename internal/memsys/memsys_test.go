@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -242,5 +243,42 @@ func TestWriteDataPassesWriteLines(t *testing.T) {
 func TestOpString(t *testing.T) {
 	if Read.String() != "read" || Write.String() != "write" {
 		t.Error("bad op strings")
+	}
+}
+
+// TestStatsMergeCoversEveryCounter folds a Stats whose every field is a
+// distinct non-zero value and checks, by reflection, that each counter
+// accumulated. A counter added to Stats but forgotten in Merge fails
+// here rather than silently vanishing from channel and sweep totals.
+func TestStatsMergeCoversEveryCounter(t *testing.T) {
+	var src Stats
+	rv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetUint(uint64(i + 1))
+	}
+	dst := src
+	dst.Merge(src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < dv.NumField(); i++ {
+		want := 2 * uint64(i+1)
+		if got := dv.Field(i).Uint(); got != want {
+			t.Errorf("Merge dropped %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestValidateCmdAdmissionIndex checks the streaming-admission use of
+// ValidateCmd: dependencies must point strictly below the given index.
+func TestValidateCmdAdmissionIndex(t *testing.T) {
+	c := VectorCmd{Op: Read, V: core.Vector{Length: 4}, DependsOn: []int{2}}
+	if err := ValidateCmd(c, 3); err != nil {
+		t.Errorf("dep 2 at index 3 rejected: %v", err)
+	}
+	if err := ValidateCmd(c, 2); err == nil {
+		t.Error("self-dependency (dep 2 at index 2) accepted")
+	}
+	if err := ValidateCmd(c, 0); err == nil {
+		t.Error("forward dependency at index 0 accepted")
 	}
 }

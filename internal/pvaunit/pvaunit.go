@@ -33,6 +33,14 @@
 // retires when every channel holding elements has deasserted its line.
 // With Channels=1 and the default word-interleave decoder, every loop
 // below collapses to the single-channel prototype, cycle for cycle.
+//
+// Since the streaming refactor the front end is an engine.Driver: the
+// shared clocked engine (internal/engine) owns the cycle loop, the lazy
+// per-controller ticking, the idle-cycle skipping, and the watchdog and
+// MaxCycles backstops. Commands enter through a Session (session.go) —
+// Issue/Poll/Wait/Drain — and the batch Run(Trace) below is a thin
+// wrapper (issue everything at cycle zero, drain) that is bit-identical
+// to the historical batch engine.
 package pvaunit
 
 import (
@@ -43,6 +51,7 @@ import (
 	"pva/internal/bankctl"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/engine"
 	"pva/internal/fault"
 	"pva/internal/memsys"
 	"pva/internal/sdram"
@@ -71,7 +80,7 @@ type Config struct {
 	Decoder addrmap.Decoder
 
 	// DisableIdleSkip forces the strict tick-every-cycle loop. By default
-	// the front end advances the clock directly to the next event cycle
+	// the engine advances the clock directly to the next event cycle
 	// whenever every bank controller and bus timer is provably idle;
 	// cycle counts are bit-identical either way (the skip only elides
 	// cycles in which no component changes state).
@@ -82,12 +91,13 @@ type Config struct {
 	Fault fault.Plan
 
 	// WatchdogCycles arms the forward-progress watchdog: when the front
-	// end observes no protocol progress (issue, broadcast, gather,
-	// collect, fallback completion, retire) for this many consecutive
-	// cycles, Run returns a *fault.DeadlockError carrying a diagnostic
-	// dump instead of spinning. It must exceed the longest legitimate
-	// quiet period (a full-line SDRAM gather plus retry backoff); 0
-	// disables the watchdog and leaves only the MaxCycles backstop.
+	// end observes no protocol progress (admission, issue, broadcast,
+	// gather, collect, fallback completion, retire) for this many
+	// consecutive cycles, the run returns a *fault.DeadlockError carrying
+	// a diagnostic dump instead of spinning. It must exceed the longest
+	// legitimate quiet period (a full-line SDRAM gather plus retry
+	// backoff); 0 disables the watchdog and leaves only the MaxCycles
+	// backstop.
 	WatchdogCycles uint64
 }
 
@@ -212,165 +222,74 @@ type chanState struct {
 // controllers (the rest re-route through the serial fallback).
 func (cs *chanState) live() uint32 { return cs.count - uint32(len(cs.fbIdxs)) }
 
-// cmdState tracks one trace command through the bus protocol.
+// cmdState tracks one accepted command (one ticket) through the bus
+// protocol.
 type cmdState struct {
 	txn         int
 	issued      bool // transaction ID claimed (on every channel's board)
 	completed   bool
+	acceptedAt  uint64 // engine cycle the command entered the session
+	issuedAt    uint64 // engine cycle the transaction ID was claimed
 	completedAt uint64
 	line        []uint32    // read: gathered data; write: staged data
 	ch          []chanState // per channel
 }
 
-// Run implements memsys.System. A broken simulator invariant anywhere in
-// the pipeline (bus, bank controller, staging unit) unwinds to this
-// boundary and is returned as a *fault.InvariantError instead of
-// crashing the caller.
+// Run implements memsys.System: a thin batch wrapper over a streaming
+// Session — every command is issued in order and the session drained,
+// which reproduces the historical batch engine cycle for cycle (the
+// admission pump only ever crosses cycles whose outcome cannot depend
+// on commands the session has not seen yet). A broken simulator
+// invariant anywhere in the pipeline (bus,
+// bank controller, staging unit) unwinds to this boundary and is
+// returned as a *fault.InvariantError instead of crashing the caller.
 func (s *System) Run(t memsys.Trace) (res memsys.Result, err error) {
 	defer fault.RecoverInvariant(&err)
 	if err := t.Validate(); err != nil {
 		return memsys.Result{}, err
 	}
-	C := s.cfg.Channels
-	M := s.cfg.Banks
-	dec := s.cfg.Decoder
-	// Decoders whose combined (channel, bank) selection is plain word
-	// interleaving keep the paper's closed-form hit math: bank b of
-	// channel ch is interleave unit b*C+ch of a C*M-unit system. Other
-	// decoders hand each controller a BankView and enumerate.
-	var geom core.Geometry
-	hm, closedForm := dec.(addrmap.HitMath)
-	if closedForm {
-		geom = hm.HitGeometry()
-	}
-	// Stateful row policies (the hot-row predictor) train across
-	// accesses; a run must not inherit the previous run's history, or
-	// repeated Runs on one System would time differently.
-	if r, ok := s.cfg.RowPolicy.(interface{ Reset() }); ok {
-		r.Reset()
-	}
-	inj := fault.NewInjector(s.cfg.Fault)
-	offline := make([]bool, C*M)
-	for _, db := range s.cfg.Fault.DeadSet() {
-		offline[db] = true
-	}
-	boards := make([]*bus.Board, C)
-	buses := make([]*bus.Bus, C)
-	bcs := make([][]*bankctl.BC, C)
-	for ch := uint32(0); ch < C; ch++ {
-		boards[ch] = bus.NewBoard(M)
-		buses[ch] = bus.New()
-		bcs[ch] = make([]*bankctl.BC, M)
-		for b := uint32(0); b < M; b++ {
-			bcfg := bankctl.Config{
-				SGeom:     s.cfg.SGeom,
-				Timing:    s.cfg.Timing,
-				Static:    s.cfg.Static,
-				VCWindow:  s.cfg.VCWindow,
-				RFEntries: s.cfg.RFEntries,
-				Policy:    s.cfg.Policy,
-				Observer:  s.cfg.Observer,
-				Injector:  inj,
-			}
-			if closedForm {
-				bcfg.Bank = b*C + ch
-				bcfg.Banks = C * M
-				bcfg.Geom = geom
-			} else {
-				bcfg.Bank = ch*M + b
-				bcfg.Banks = M
-				bcfg.Geom = core.MustGeometry(M)
-				bcfg.View = addrmap.BankView{D: dec, Channel: ch, Bank: b}
-			}
-			bcfg.FHCDelay = 2
-			bc := bankctl.New(bcfg, s.store, boards[ch])
-			bc.SetBoardBank(b)
-			if s.cfg.RowPolicy != nil {
-				bc.SetRowPolicy(s.cfg.RowPolicy)
-			}
-			bcs[ch][b] = bc
-		}
-	}
-	// Serial-fallback per-element cost: a degraded bank's elements are
-	// serviced one at a time over a dedicated maintenance path — each
-	// element pays a full closed-page SDRAM access (ACT + CAS + PRE) plus
-	// the transfer cycle; on the static variant only the transfer cycle.
-	fbCost := uint64(1)
-	if !s.cfg.Static {
-		fbCost += s.cfg.Timing.TRCD + s.cfg.Timing.CL + s.cfg.Timing.TRP
-	}
-	fe := &frontEnd{
-		cfg:       s.cfg,
-		trace:     t,
-		state:     make([]cmdState, len(t.Cmds)),
-		boards:    boards,
-		buses:     buses,
-		bcs:       bcs,
-		store:     s.store,
-		inj:       inj,
-		dropGuard: inj != nil && s.cfg.Fault.DropRate > 0,
-		offline:   offline,
-		fbCost:    fbCost,
-		fbBusy:    make([]uint64, C),
-		nacks:     make([]uint64, C),
-		retries:   make([]uint64, C),
-		fallbk:    make([]uint64, C),
-	}
-	res, err = fe.run()
+	ses, err := s.Open()
 	if err != nil {
 		return memsys.Result{}, err
 	}
-	// Fold device and bus counters into the common stats, keeping the
-	// per-channel breakdown.
-	res.ChannelStats = make([]memsys.Stats, C)
-	for ch := range bcs {
-		cs := &res.ChannelStats[ch]
-		for _, bc := range bcs[ch] {
-			ds := bc.Device().Stats()
-			cs.SDRAMReads += ds.Reads
-			cs.SDRAMWrites += ds.Writes
-			cs.Activates += ds.Activates
-			cs.Precharges += ds.Precharges
-			cs.RowHits += ds.RowHits
-			cs.CorrectedECC += ds.CorrectedECC
-			cs.UncorrectedECC += ds.UncorrectedECC
-			cs.ECCRetries += ds.ECCRetries
+	// Batch mode knows the whole trace up front, so admission
+	// backpressure buys nothing: lift the queue bound and skip the
+	// per-cycle sealed-admission scan entirely. Timing is identical
+	// either way (the pump only crosses sealed cycles); this is purely
+	// the cheaper path.
+	ses.queueDepth = len(t.Cmds) + 1
+	for _, c := range t.Cmds {
+		if _, err := ses.Issue(c); err != nil {
+			return memsys.Result{}, err
 		}
-		cs.BusBusyCycles = buses[ch].BusyCycles()
-		cs.TurnaroundCycles = buses[ch].TurnaroundCycles()
-		cs.BusNACKs = fe.nacks[ch]
-		cs.BusRetries = fe.retries[ch]
-		cs.DegradedElements = fe.fallbk[ch]
-		res.Stats.SDRAMReads += cs.SDRAMReads
-		res.Stats.SDRAMWrites += cs.SDRAMWrites
-		res.Stats.Activates += cs.Activates
-		res.Stats.Precharges += cs.Precharges
-		res.Stats.RowHits += cs.RowHits
-		res.Stats.BusBusyCycles += cs.BusBusyCycles
-		res.Stats.TurnaroundCycles += cs.TurnaroundCycles
-		res.Stats.CorrectedECC += cs.CorrectedECC
-		res.Stats.UncorrectedECC += cs.UncorrectedECC
-		res.Stats.ECCRetries += cs.ECCRetries
-		res.Stats.BusNACKs += cs.BusNACKs
-		res.Stats.BusRetries += cs.BusRetries
-		res.Stats.DegradedElements += cs.DegradedElements
 	}
-	return res, nil
+	if err := ses.Drain(); err != nil {
+		return memsys.Result{}, err
+	}
+	return ses.Result()
 }
 
-// frontEnd is the per-run protocol engine: the Vector Command Unit plus
-// the channel dispatcher.
+// frontEnd is the protocol engine of one session: the Vector Command
+// Unit plus the channel dispatcher, run as the Driver of the shared
+// clocked engine.
 type frontEnd struct {
 	cfg    Config
-	trace  memsys.Trace
+	cmds   []memsys.VectorCmd // accepted commands, ticket order
 	state  []cmdState
 	boards []*bus.Board // per channel
 	buses  []*bus.Bus   // per channel
 	bcs    [][]*bankctl.BC
 
-	lines     [][]uint32 // per command: gathered line (reads) or computed line (writes)
-	remaining int
-	lastDone  uint64
+	// handles name each live bank controller on the engine, indexed
+	// [channel][bank]; nil entries are hard-faulted (offline) banks. The
+	// front end uses them to force a lazily-skipped controller's tick in
+	// the broadcast cycle.
+	handles [][]*engine.Handle
+
+	lines      [][]uint32 // per command: gathered line (reads) or computed line (writes)
+	remaining  int        // accepted commands not yet retired
+	issuedLive int        // commands currently holding a transaction ID
+	lastDone   uint64
 
 	store *memsys.Store   // backing store (serial fallback bypasses the devices)
 	inj   *fault.Injector // nil: no fault injection anywhere
@@ -383,177 +302,101 @@ type frontEnd struct {
 	dropGuard bool
 
 	// offline marks hard-faulted bank controllers (flat channel*M+bank):
-	// never ticked, never observed, their board lines deasserted at Open.
-	offline []bool
-	fbCost  uint64   // serial-fallback cost per element, in cycles
-	fbBusy  []uint64 // per channel: cycle the fallback engine frees up
-	nacks   []uint64 // per channel: broadcasts NACKed
-	retries []uint64 // per channel: broadcasts delivered on a retransmission
-	fallbk  []uint64 // per channel: elements serviced by the fallback
+	// never registered on the engine, never observed, their board lines
+	// deasserted at broadcast.
+	offline    []bool
+	anyOffline bool
+	fbCost     uint64   // serial-fallback cost per element, in cycles
+	fbBusy     []uint64 // per channel: cycle the fallback engine frees up
+	nacks      []uint64 // per channel: broadcasts NACKed
+	retries    []uint64 // per channel: broadcasts delivered on a retransmission
+	fallbk     []uint64 // per channel: elements serviced by the fallback
+
+	// pending is set while an Issue call is pumping the engine under
+	// backpressure: a command is waiting at the admission gate. The
+	// moment a transaction ID frees, NextWake pins the clock (no idle
+	// skip), so the pump hands control back on the exact next cycle and
+	// the command is admitted precisely when the batch engine could
+	// first have issued it — the keystone of streaming/batch cycle
+	// equivalence.
+	pending bool
 
 	// lastProgress is the watchdog's heartbeat: the latest cycle any
-	// command issued, broadcast, gathered, collected, finished its
-	// fallback, or retired.
+	// command was admitted, issued, broadcast, gathered, collected,
+	// finished its fallback, or retired.
 	lastProgress uint64
 
 	// first is the completed-prefix frontier: every command before it has
 	// retired, so the per-cycle scans start there.
 	first int
-	// wake caches each bank controller's next-event cycle, indexed
-	// channel*M + bank. A controller whose wake lies in the future is
-	// provably idle and is not ticked at all; its clock is lazily
-	// advanced (AdvanceIdle) the moment the front end next touches it.
-	// Skipped cycles are pure counter increments, so timing is
-	// bit-identical to ticking every controller every cycle.
-	wake []uint64
 }
 
-func (fe *frontEnd) run() (memsys.Result, error) {
-	fe.lines = make([][]uint32, len(fe.trace.Cmds))
-	fe.remaining = len(fe.trace.Cmds)
-	if fe.remaining == 0 {
-		return memsys.Result{}, nil
-	}
-	// The channel dispatcher's split: each command's element count per
-	// channel, by the closed form where the decoder supports it.
+// Done implements engine.Driver: all accepted commands have retired.
+func (fe *frontEnd) Done() bool { return fe.remaining == 0 }
+
+// Progress implements engine.Driver.
+func (fe *frontEnd) Progress() uint64 { return fe.lastProgress }
+
+// DebugDump implements engine.Driver.
+func (fe *frontEnd) DebugDump() string { return fe.debugString() }
+
+// accept admits one command into the session at engine cycle now,
+// returning its ticket index: the channel dispatcher's split (each
+// command's element count per channel, by the closed form where the
+// decoder supports it) plus degraded-mode routing for elements owned by
+// offline bank controllers.
+func (fe *frontEnd) accept(c memsys.VectorCmd, now uint64) int {
+	i := len(fe.cmds)
 	C := int(fe.cfg.Channels)
 	M := int(fe.cfg.Banks)
-	anyOffline := false
-	for _, o := range fe.offline {
-		if o {
-			anyOffline = true
-			break
-		}
+	hits := addrmap.SplitVector(fe.cfg.Decoder, c.V)
+	st := cmdState{acceptedAt: now, ch: make([]chanState, C)}
+	for ch := 0; ch < C; ch++ {
+		st.ch[ch].count = hits[ch].Count
+		st.ch[ch].active = hits[ch].Count > 0
+		st.ch[ch].fbDone = true // until fallback elements are found below
 	}
-	for i := range fe.state {
-		hits := addrmap.SplitVector(fe.cfg.Decoder, fe.trace.Cmds[i].V)
-		st := &fe.state[i]
-		st.ch = make([]chanState, C)
-		for ch := 0; ch < C; ch++ {
-			st.ch[ch].count = hits[ch].Count
-			st.ch[ch].active = hits[ch].Count > 0
-			st.ch[ch].fbDone = true // until fallback elements are found below
-		}
-		if anyOffline {
-			// Degraded-mode routing: enumerate the elements owned by
-			// offline bank controllers; they re-route through the serial
-			// fallback engine and never reach a live bank.
-			v := fe.trace.Cmds[i].V
-			for e := uint32(0); e < v.Length; e++ {
-				co := fe.cfg.Decoder.Decode(v.Addr(e))
-				if fe.offline[int(co.Channel)*M+int(co.Bank)] {
-					cs := &st.ch[co.Channel]
-					cs.fbIdxs = append(cs.fbIdxs, e)
-					cs.fbDone = false
-				}
+	if fe.anyOffline {
+		// Degraded-mode routing: enumerate the elements owned by offline
+		// bank controllers; they re-route through the serial fallback
+		// engine and never reach a live bank.
+		for e := uint32(0); e < c.V.Length; e++ {
+			co := fe.cfg.Decoder.Decode(c.V.Addr(e))
+			if fe.offline[int(co.Channel)*M+int(co.Bank)] {
+				cs := &st.ch[co.Channel]
+				cs.fbIdxs = append(cs.fbIdxs, e)
+				cs.fbDone = false
 			}
 		}
 	}
-	fe.wake = make([]uint64, C*M) // zero: everyone ticks at cycle 0
-	for w := range fe.wake {
-		if fe.offline[w] {
-			fe.wake[w] = bankctl.NoEvent
-		}
-	}
-	for cycle := uint64(0); fe.remaining > 0; {
-		if cycle > fe.cfg.MaxCycles {
-			return memsys.Result{}, &fault.DeadlockError{
-				Cycle:   cycle,
-				Stalled: cycle - fe.lastProgress,
-				Dump: fmt.Sprintf("pvaunit: MaxCycles=%d exhausted (%d commands left)\n%s",
-					fe.cfg.MaxCycles, fe.remaining, fe.debugString()),
-			}
-		}
-		if wd := fe.cfg.WatchdogCycles; wd > 0 && cycle > fe.lastProgress+wd {
-			return memsys.Result{}, &fault.DeadlockError{
-				Cycle:   cycle,
-				Stalled: cycle - fe.lastProgress,
-				Dump:    fe.debugString(),
-			}
-		}
-		if err := fe.step(cycle); err != nil {
-			return memsys.Result{}, err
-		}
-		for ch, row := range fe.bcs {
-			for b, bc := range row {
-				// Lazy ticking: a controller whose next event lies beyond
-				// this cycle is provably inert and is not ticked at all. Its
-				// local clock catches up (pure counter increments) the cycle
-				// it next matters, so timing is bit-identical to the strict
-				// loop.
-				w := ch*M + b
-				if fe.offline[w] {
-					continue // hard-faulted: powered off, never ticked
-				}
-				if !fe.cfg.DisableIdleSkip && fe.wake[w] > cycle {
-					continue
-				}
-				if lag := bc.CycleNow(); lag < cycle {
-					if err := bc.AdvanceIdle(cycle - lag); err != nil {
-						return memsys.Result{}, err
-					}
-				}
-				if err := bc.Tick(); err != nil {
-					return memsys.Result{}, err
-				}
-				fe.wake[w] = bc.NextEventAt()
-			}
-		}
-		cycle++
-		if fe.cfg.DisableIdleSkip || fe.remaining == 0 {
-			continue
-		}
-		// Event-driven idle skipping: when every pending command timer,
-		// bus tenure and bank controller agrees the next state change
-		// lies strictly in the future, jump the global clock there.
-		// Every elided cycle is one in which step() and all Ticks would
-		// have been pure counter increments, so cycle counts match the
-		// strict loop bit for bit.
-		if next := fe.nextWake(cycle); next > cycle {
-			// Never jump past an armed watchdog's deadline: the skip must
-			// not delay the deadlock report beyond the cycle at which the
-			// strict loop would raise it.
-			if wd := fe.cfg.WatchdogCycles; wd > 0 && next > fe.lastProgress+wd+1 {
-				next = fe.lastProgress + wd + 1
-			}
-			// A deadlocked system reports no wake at all; land just past
-			// the guard so the diagnostic above fires instead of jumping
-			// the clock to the end of time.
-			if next > fe.cfg.MaxCycles {
-				next = fe.cfg.MaxCycles + 1
-			}
-			cycle = next
-		}
-	}
-	readData := make([][]uint32, len(fe.trace.Cmds))
-	for i, c := range fe.trace.Cmds {
-		if c.Op == memsys.Read {
-			readData[i] = fe.lines[i]
-		}
-	}
-	return memsys.Result{Cycles: fe.lastDone, ReadData: readData}, nil
+	fe.cmds = append(fe.cmds, c)
+	fe.state = append(fe.state, st)
+	fe.lines = append(fe.lines, nil)
+	fe.remaining++
+	fe.progress(now)
+	return i
 }
 
-// nextWake returns the earliest cycle >= now at which any component may
-// change state: a front-end timer (broadcast, staging burst end), a bus
-// decision point with schedulable work, or a bank controller event. It
-// is a lower bound — waking early merely costs a no-op iteration — but
-// never an overestimate, which is what makes skipped cycles provably
+// NextWake implements engine.Driver: the earliest cycle >= now at which
+// any front-end timer may fire — a command becoming broadcastable at a
+// channel's bus decision point, a broadcast or staging burst ending, a
+// fallback completing, or a transaction-complete line already observed
+// deasserted. Bank-controller events are tracked by the engine itself.
+// It is a lower bound — waking early merely costs a no-op iteration —
+// but never an overestimate, which is what makes skipped cycles provably
 // inert and cycle counts identical to the strict loop.
-func (fe *frontEnd) nextWake(now uint64) uint64 {
-	next := bankctl.NoEvent
+func (fe *frontEnd) NextWake(now uint64) uint64 {
+	if fe.pending && fe.issuedLive < bus.MaxTransactions {
+		// A command is waiting at the admission gate and a transaction
+		// ID just freed: suppress idle skipping so the pump stops on the
+		// very next cycle and admits it there — the first cycle the
+		// batch engine could have issued it.
+		return now
+	}
+	next := uint64(engine.NoEvent)
 	upd := func(c uint64) {
 		if c < next {
 			next = c
-		}
-	}
-	// The wake cache is current: busy controllers were ticked (and
-	// refreshed their entry) in the loop that just ran, and skipped
-	// controllers' entries still lie in the future by construction.
-	for _, w := range fe.wake {
-		upd(w)
-		if next <= now {
-			return now
 		}
 	}
 	for i := fe.first; i < len(fe.state); i++ {
@@ -561,7 +404,7 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 		if st.completed {
 			continue
 		}
-		c := &fe.trace.Cmds[i]
+		c := &fe.cmds[i]
 		if !st.issued {
 			// May become broadcastable at a channel's next bus decision
 			// point once its dependences are complete. (Conflict and
@@ -577,7 +420,7 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 			if ready {
 				for ch := range st.ch {
 					if st.ch[ch].active {
-						upd(max(now, fe.buses[ch].BusyUntil()))
+						upd(max(now, fe.buses[ch].NextEventAt()))
 					}
 				}
 			}
@@ -588,7 +431,7 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 					continue
 				}
 				if !cs.reserved {
-					at := max(now, fe.buses[ch].BusyUntil())
+					at := max(now, fe.buses[ch].NextEventAt())
 					if cs.retryAt > at {
 						at = cs.retryAt // backing off after a NACK
 					}
@@ -618,7 +461,7 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 							upd(now)
 						}
 					case !cs.stagingStarted:
-						upd(max(now, fe.buses[ch].BusyUntil()))
+						upd(max(now, fe.buses[ch].NextEventAt()))
 					case !cs.collected:
 						upd(cs.stageReadEnd)
 					}
@@ -636,19 +479,25 @@ func (fe *frontEnd) nextWake(now uint64) uint64 {
 	return next
 }
 
-// debugString summarizes stuck state for the deadlock error.
+// debugString summarizes stuck state for the deadlock error: the stalled
+// tickets by number, then per-ticket protocol state, per-channel bus
+// state, and every bank controller's queues.
 func (fe *frontEnd) debugString() string {
-	var s string
+	var stalled []int
+	for i := range fe.state {
+		if !fe.state[i].completed {
+			stalled = append(stalled, i)
+		}
+	}
+	s := fmt.Sprintf("stalled tickets (%d of %d accepted): %v\n",
+		len(stalled), len(fe.cmds), stalled)
 	for ch, b := range fe.buses {
 		s += fmt.Sprintf("ch%d bus busyUntil=%d\n", ch, b.BusyUntil())
 	}
-	for i := range fe.state {
+	for _, i := range stalled {
 		st := &fe.state[i]
-		if st.completed {
-			continue
-		}
-		c := &fe.trace.Cmds[i]
-		s += fmt.Sprintf("cmd %d %v V=%+v txn=%d issued=%v", i, c.Op, c.V, st.txn, st.issued)
+		c := &fe.cmds[i]
+		s += fmt.Sprintf("ticket %d %v V=%+v txn=%d issued=%v", i, c.Op, c.V, st.txn, st.issued)
 		for ch := range st.ch {
 			cs := &st.ch[ch]
 			if !cs.active {
@@ -676,10 +525,10 @@ func (fe *frontEnd) debugString() string {
 	return s
 }
 
-// step performs the front end's work for one cycle: schedule the next
-// bus tenure on every channel (which may begin this very cycle), then
-// deliver due events and observe completion lines.
-func (fe *frontEnd) step(now uint64) error {
+// Step implements engine.Driver: the front end's work for one cycle —
+// schedule the next bus tenure on every channel (which may begin this
+// very cycle), then deliver due events and observe completion lines.
+func (fe *frontEnd) Step(now uint64) error {
 	for ch := range fe.buses {
 		if err := fe.scheduleChannel(ch, now); err != nil {
 			return err
@@ -689,7 +538,7 @@ func (fe *frontEnd) step(now uint64) error {
 	// STAGE_WRITE burst, before any broadcast due this cycle.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
-		c := &fe.trace.Cmds[i]
+		c := &fe.cmds[i]
 		for ch := range st.ch {
 			cs := &st.ch[ch]
 			if !cs.reserved || cs.broadcastDone {
@@ -742,7 +591,7 @@ func (fe *frontEnd) step(now uint64) error {
 						}
 					}
 					bc.ObserveCommand(c.Op, c.V, st.txn)
-					fe.wake[ch*M+b] = now
+					fe.handles[ch][b].Wake(now)
 				}
 				cs.broadcastDone = true
 				fe.progress(now)
@@ -767,7 +616,7 @@ func (fe *frontEnd) step(now uint64) error {
 	// done.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
-		c := &fe.trace.Cmds[i]
+		c := &fe.cmds[i]
 		if !st.issued || st.completed {
 			continue
 		}
@@ -846,7 +695,7 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 	// unblocks dependents.
 	for i := fe.first; i < len(fe.state); i++ {
 		st := &fe.state[i]
-		if fe.trace.Cmds[i].Op != memsys.Read || st.completed {
+		if fe.cmds[i].Op != memsys.Read || st.completed {
 			continue
 		}
 		cs := &st.ch[ch]
@@ -885,7 +734,7 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 		if fe.dropGuard && fe.olderConflictPending(i, ch) {
 			continue // an older conflicting broadcast has not landed yet
 		}
-		c := &fe.trace.Cmds[i]
+		c := &fe.cmds[i]
 		if !st.issued {
 			ok, err := fe.eligible(i)
 			if err != nil {
@@ -906,6 +755,8 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 			}
 			st.txn = txn
 			st.issued = true
+			st.issuedAt = now
+			fe.issuedLive++
 			fe.progress(now)
 			if c.Op == memsys.Write {
 				data, err := memsys.WriteData(*c, fe.lines)
@@ -941,6 +792,78 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 	return nil
 }
 
+// sealed reports whether stepping cycle now cannot possibly issue or
+// reserve a bus tenure for a command that has not been admitted yet: on
+// every channel whose decision point has arrived, either an admitted
+// command will claim the tenure (an unadmitted command, being youngest,
+// would never be reached) or the scheduler's scan ends at a transaction
+// Alloc failure (which blocks younger commands too). Issue pumps the
+// engine only across sealed cycles, which is what makes a stream with
+// backpressure land every admission on exactly the cycle the batch
+// engine would first act on the command. It is conservative: reporting
+// unsealed merely stops the pump early, which only weakens backpressure,
+// never timing equivalence.
+func (fe *frontEnd) sealed(now uint64) bool {
+	for ch := range fe.buses {
+		if !fe.cycleSealed(ch, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// cycleSealed mirrors scheduleChannel's selection scan without side
+// effects: true when channel ch's cycle at now cannot hand a tenure to
+// an unadmitted command.
+func (fe *frontEnd) cycleSealed(ch int, now uint64) bool {
+	if fe.buses[ch].BusyUntil() > now {
+		return true // no decision point this cycle
+	}
+	// Priority 1: a gathered read draining claims the tenure.
+	for i := fe.first; i < len(fe.state); i++ {
+		st := &fe.state[i]
+		if fe.cmds[i].Op != memsys.Read || st.completed {
+			continue
+		}
+		cs := &st.ch[ch]
+		if !cs.active || !cs.gathered || cs.stagingStarted || cs.live() == 0 {
+			continue
+		}
+		return true
+	}
+	// Priority 2: the first candidate either reserves the tenure or
+	// fails transaction Alloc — both block anything younger.
+	for i := fe.first; i < len(fe.state); i++ {
+		st := &fe.state[i]
+		if st.completed {
+			continue
+		}
+		cs := &st.ch[ch]
+		if !cs.active || cs.reserved {
+			continue
+		}
+		if cs.retryAt > now {
+			continue
+		}
+		if fe.dropGuard && fe.olderConflictPending(i, ch) {
+			continue
+		}
+		if !st.issued {
+			ok, err := fe.eligible(i)
+			if err != nil {
+				return true // the real step will surface the error
+			}
+			if !ok {
+				continue
+			}
+		}
+		return true
+	}
+	// The scan fell through every admitted command: an unadmitted
+	// command would be reached, and issues unless the pool is empty.
+	return fe.issuedLive >= bus.MaxTransactions
+}
+
 // progress records a forward-progress heartbeat for the watchdog.
 func (fe *frontEnd) progress(now uint64) {
 	if now > fe.lastProgress {
@@ -955,7 +878,7 @@ func (fe *frontEnd) progress(now uint64) {
 // behind a dead bank is *always* serviced here, in broadcast (program)
 // order per channel.
 func (fe *frontEnd) runFallback(i int, st *cmdState, ch int) {
-	c := &fe.trace.Cmds[i]
+	c := &fe.cmds[i]
 	cs := &st.ch[ch]
 	if c.Op == memsys.Read {
 		if st.line == nil {
@@ -1001,6 +924,7 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 		}
 	}
 	fe.remaining--
+	fe.issuedLive--
 	fe.progress(now)
 	if now > fe.lastDone {
 		fe.lastDone = now
@@ -1016,6 +940,25 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 // aliasing commands — within a bank controller the polarity rule of
 // Section 5.2.4 provides this guarantee, but only for commands that
 // arrive in order.
+func (fe *frontEnd) eligible(i int) (bool, error) {
+	c := &fe.cmds[i]
+	for _, d := range c.DependsOn {
+		if !fe.state[d].completed {
+			return false, nil
+		}
+	}
+	for e := fe.first; e < i; e++ {
+		if fe.state[e].issued {
+			continue
+		}
+		ec := &fe.cmds[e]
+		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // olderConflictPending reports whether an earlier incomplete command
 // that may touch the same words as command i has yet to deliver its
 // broadcast on this channel. The banks order conflicting accesses by
@@ -1026,7 +969,7 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 // reliable bus reservation order alone implies arrival order, so this
 // guard is never consulted there and fault-free timing is unchanged.
 func (fe *frontEnd) olderConflictPending(i, ch int) bool {
-	c := &fe.trace.Cmds[i]
+	c := &fe.cmds[i]
 	for e := fe.first; e < i; e++ {
 		est := &fe.state[e]
 		if est.completed {
@@ -1036,31 +979,12 @@ func (fe *frontEnd) olderConflictPending(i, ch int) bool {
 		if !ecs.active || ecs.broadcastDone {
 			continue
 		}
-		ec := &fe.trace.Cmds[e]
+		ec := &fe.cmds[e]
 		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
 			return true
 		}
 	}
 	return false
-}
-
-func (fe *frontEnd) eligible(i int) (bool, error) {
-	c := &fe.trace.Cmds[i]
-	for _, d := range c.DependsOn {
-		if !fe.state[d].completed {
-			return false, nil
-		}
-	}
-	for e := fe.first; e < i; e++ {
-		if fe.state[e].issued {
-			continue
-		}
-		ec := &fe.trace.Cmds[e]
-		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
-			return false, nil
-		}
-	}
-	return true, nil
 }
 
 // overlaps conservatively tests whether two vectors might touch a common

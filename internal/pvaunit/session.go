@@ -1,0 +1,367 @@
+package pvaunit
+
+import (
+	"fmt"
+
+	"pva/internal/addrmap"
+	"pva/internal/bankctl"
+	"pva/internal/bus"
+	"pva/internal/core"
+	"pva/internal/engine"
+	"pva/internal/fault"
+	"pva/internal/memsys"
+	"pva/internal/sdram"
+)
+
+// Session is a streaming front end onto one PVA system: commands enter
+// one at a time through Issue, execute on the shared clocked engine, and
+// retire asynchronously. Poll observes a ticket without advancing the
+// clock; Wait and Drain pump the engine until the ticket (or all work)
+// completes.
+//
+// Admission is bounded: when every one of the eight bus transaction IDs
+// is claimed and QueueDepth commands already wait behind them, Issue
+// blocks — it pumps the engine until a transaction retires — before
+// admitting the new command. The backpressure is what keeps an
+// unbounded producer from growing the reorder window past what the
+// hardware (eight Register File entries per bank controller) models.
+//
+// Timing is bit-identical to the batch path: a trace issued one command
+// at a time through a Session and drained executes in exactly the
+// cycles Run reports for the same trace, because Issue only ever
+// advances the clock through windows in which the waiting command could
+// not possibly have issued (the transaction pool is exhausted) and
+// admits it on the first cycle it could.
+//
+// A Session is not safe for concurrent use, and a System supports one
+// live Session at a time (Open resets the row policy and the sessions
+// share the backing store).
+type Session struct {
+	sys        *System
+	fe         *frontEnd
+	eng        *engine.Engine
+	queueDepth int
+	err        error // sticky: first engine/protocol failure kills the session
+}
+
+// Ticket names a command accepted by a Session, in admission order.
+type Ticket int
+
+// TicketInfo is a point-in-time snapshot of one command's progress.
+type TicketInfo struct {
+	Ticket Ticket
+	Op     memsys.Op
+	// AcceptedAt is the cycle the command entered the session.
+	AcceptedAt uint64
+	// Issued reports whether the command has claimed a transaction ID;
+	// IssuedAt is the cycle it did.
+	Issued   bool
+	IssuedAt uint64
+	// Done reports whether the command has retired; CompletedAt is the
+	// cycle its last transaction-complete line deasserted.
+	Done        bool
+	CompletedAt uint64
+	// Data is the gathered dense line of a completed read (nil for
+	// writes and unfinished reads). The slice is the session's own
+	// buffer, shared with Result; callers that mutate it must copy.
+	Data []uint32
+}
+
+// Open builds the session's hardware — per-channel transaction boards,
+// vector buses and bank controllers, all registered on a fresh clocked
+// engine — and returns a Session accepting commands at cycle zero. The
+// batch Run is exactly Open + Issue-everything + Drain.
+func (s *System) Open() (*Session, error) {
+	C := s.cfg.Channels
+	M := s.cfg.Banks
+	dec := s.cfg.Decoder
+	// Decoders whose combined (channel, bank) selection is plain word
+	// interleaving keep the paper's closed-form hit math: bank b of
+	// channel ch is interleave unit b*C+ch of a C*M-unit system. Other
+	// decoders hand each controller a BankView and enumerate.
+	var geom core.Geometry
+	hm, closedForm := dec.(addrmap.HitMath)
+	if closedForm {
+		geom = hm.HitGeometry()
+	}
+	// Stateful row policies (the hot-row predictor) train across
+	// accesses; a session must not inherit the previous run's history,
+	// or repeated Runs on one System would time differently.
+	if r, ok := s.cfg.RowPolicy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	inj := fault.NewInjector(s.cfg.Fault)
+	offline := make([]bool, C*M)
+	anyOffline := false
+	for _, db := range s.cfg.Fault.DeadSet() {
+		offline[db] = true
+		anyOffline = true
+	}
+	boards := make([]*bus.Board, C)
+	buses := make([]*bus.Bus, C)
+	bcs := make([][]*bankctl.BC, C)
+	for ch := uint32(0); ch < C; ch++ {
+		boards[ch] = bus.NewBoard(M)
+		buses[ch] = bus.New()
+		bcs[ch] = make([]*bankctl.BC, M)
+		for b := uint32(0); b < M; b++ {
+			bcfg := bankctl.Config{
+				SGeom:     s.cfg.SGeom,
+				Timing:    s.cfg.Timing,
+				Static:    s.cfg.Static,
+				VCWindow:  s.cfg.VCWindow,
+				RFEntries: s.cfg.RFEntries,
+				Policy:    s.cfg.Policy,
+				Observer:  s.cfg.Observer,
+				Injector:  inj,
+			}
+			if closedForm {
+				bcfg.Bank = b*C + ch
+				bcfg.Banks = C * M
+				bcfg.Geom = geom
+			} else {
+				bcfg.Bank = ch*M + b
+				bcfg.Banks = M
+				bcfg.Geom = core.MustGeometry(M)
+				bcfg.View = addrmap.BankView{D: dec, Channel: ch, Bank: b}
+			}
+			bcfg.FHCDelay = 2
+			bc := bankctl.New(bcfg, s.store, boards[ch])
+			bc.SetBoardBank(b)
+			if s.cfg.RowPolicy != nil {
+				bc.SetRowPolicy(s.cfg.RowPolicy)
+			}
+			bcs[ch][b] = bc
+		}
+	}
+	// Serial-fallback per-element cost: a degraded bank's elements are
+	// serviced one at a time over a dedicated maintenance path — each
+	// element pays a full closed-page SDRAM access (ACT + CAS + PRE)
+	// plus the transfer cycle; on the static variant only the transfer
+	// cycle.
+	fbCost := uint64(1)
+	if !s.cfg.Static {
+		fbCost += s.cfg.Timing.TRCD + s.cfg.Timing.CL + s.cfg.Timing.TRP
+	}
+	fe := &frontEnd{
+		cfg:        s.cfg,
+		boards:     boards,
+		buses:      buses,
+		bcs:        bcs,
+		store:      s.store,
+		inj:        inj,
+		dropGuard:  inj != nil && s.cfg.Fault.DropRate > 0,
+		offline:    offline,
+		anyOffline: anyOffline,
+		fbCost:     fbCost,
+		fbBusy:     make([]uint64, C),
+		nacks:      make([]uint64, C),
+		retries:    make([]uint64, C),
+		fallbk:     make([]uint64, C),
+	}
+	eng := engine.New(engine.Config{
+		MaxCycles:       s.cfg.MaxCycles,
+		WatchdogCycles:  s.cfg.WatchdogCycles,
+		DisableIdleSkip: s.cfg.DisableIdleSkip,
+	}, fe)
+	// Registration order is tick order: channel-major, bank-minor, the
+	// order the historical batch loop used. Hard-faulted controllers are
+	// powered off and never registered.
+	fe.handles = make([][]*engine.Handle, C)
+	for ch := uint32(0); ch < C; ch++ {
+		fe.handles[ch] = make([]*engine.Handle, M)
+		for b := uint32(0); b < M; b++ {
+			if offline[ch*M+b] {
+				continue
+			}
+			fe.handles[ch][b] = eng.Register(bcs[ch][b])
+		}
+	}
+	return &Session{
+		sys:        s,
+		fe:         fe,
+		eng:        eng,
+		queueDepth: bus.MaxTransactions,
+	}, nil
+}
+
+// SetQueueDepth bounds the number of accepted-but-unissued commands the
+// session holds before Issue applies backpressure (default: eight, the
+// transaction-ID count). It must be at least one.
+func (s *Session) SetQueueDepth(n int) error {
+	if n < 1 {
+		return fmt.Errorf("pvaunit: queue depth %d must be at least 1", n)
+	}
+	s.queueDepth = n
+	return nil
+}
+
+// Now returns the session clock: the next cycle the engine will step.
+func (s *Session) Now() uint64 { return s.eng.Now() }
+
+// Outstanding returns the number of accepted commands not yet retired.
+func (s *Session) Outstanding() int { return s.fe.remaining }
+
+// Queued returns the number of accepted commands still waiting for a
+// transaction ID.
+func (s *Session) Queued() int { return s.fe.remaining - s.fe.issuedLive }
+
+// Err returns the session's sticky failure, if any.
+func (s *Session) Err() error { return s.err }
+
+// Issue admits one command and returns its ticket. When the transaction
+// pool is exhausted and the queue is full it first pumps the engine —
+// backpressure — until a transaction retires, then admits the command
+// on that exact cycle. Validation failures reject the command without
+// poisoning the session; engine failures (deadlock, bus fault) are
+// sticky.
+func (s *Session) Issue(c memsys.VectorCmd) (Ticket, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if err := memsys.ValidateCmd(c, len(s.fe.cmds)); err != nil {
+		return 0, err
+	}
+	if s.fe.remaining-s.fe.issuedLive >= s.queueDepth {
+		// Backpressure: advance the clock until the queue drains below
+		// the bound, but only across sealed cycles — cycles that
+		// provably cannot issue a command the batch engine would have
+		// known about but this session does not yet. The pump therefore
+		// stops, and the command is admitted, on exactly the first cycle
+		// at which its presence could matter.
+		s.fe.pending = true
+		err := s.pump(func() bool {
+			return s.fe.remaining-s.fe.issuedLive >= s.queueDepth &&
+				s.fe.sealed(s.eng.Now())
+		})
+		s.fe.pending = false
+		if err != nil {
+			return 0, err
+		}
+	}
+	return Ticket(s.fe.accept(c, s.eng.Now())), nil
+}
+
+// Poll reports a ticket's progress without advancing the clock.
+func (s *Session) Poll(t Ticket) (TicketInfo, error) {
+	if err := s.checkTicket(t); err != nil {
+		return TicketInfo{}, err
+	}
+	return s.info(t), nil
+}
+
+// Wait pumps the engine until the ticket completes (a no-op when it
+// already has), then reports it.
+func (s *Session) Wait(t Ticket) (TicketInfo, error) {
+	if err := s.checkTicket(t); err != nil {
+		return TicketInfo{}, err
+	}
+	if s.err != nil {
+		return TicketInfo{}, s.err
+	}
+	if err := s.pump(func() bool { return !s.fe.state[t].completed }); err != nil {
+		return TicketInfo{}, err
+	}
+	if !s.fe.state[t].completed {
+		// Done went true with the ticket unfinished: impossible unless
+		// the bookkeeping is broken.
+		return TicketInfo{}, fmt.Errorf("pvaunit: session drained with ticket %d incomplete", t)
+	}
+	return s.info(t), nil
+}
+
+// Drain pumps the engine until every accepted command has retired.
+func (s *Session) Drain() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.pump(nil)
+}
+
+// Result assembles the run's result so far: total cycles (completion of
+// the last retired transaction), the gathered line of every completed
+// read, and the statistics folded from every device and bus via
+// Stats.Merge. After Drain it is exactly what the batch Run returns.
+func (s *Session) Result() (memsys.Result, error) {
+	if s.err != nil {
+		return memsys.Result{}, s.err
+	}
+	res := memsys.Result{Cycles: s.fe.lastDone}
+	if len(s.fe.cmds) > 0 {
+		res.ReadData = make([][]uint32, len(s.fe.cmds))
+		for i, c := range s.fe.cmds {
+			if c.Op == memsys.Read && s.fe.state[i].completed {
+				res.ReadData[i] = s.fe.lines[i]
+			}
+		}
+	}
+	// Fold device and bus counters into the common stats, keeping the
+	// per-channel breakdown.
+	res.ChannelStats = make([]memsys.Stats, s.sys.cfg.Channels)
+	for ch := range s.fe.bcs {
+		cs := &res.ChannelStats[ch]
+		for _, bc := range s.fe.bcs[ch] {
+			cs.Merge(deviceStats(bc.Device().Stats()))
+		}
+		cs.BusBusyCycles = s.fe.buses[ch].BusyCycles()
+		cs.TurnaroundCycles = s.fe.buses[ch].TurnaroundCycles()
+		cs.BusNACKs = s.fe.nacks[ch]
+		cs.BusRetries = s.fe.retries[ch]
+		cs.DegradedElements = s.fe.fallbk[ch]
+		res.Stats.Merge(*cs)
+	}
+	return res, nil
+}
+
+// pump advances the engine while cond holds (nil: to Done), converting
+// invariant panics anywhere in the pipeline into errors and making any
+// failure sticky.
+func (s *Session) pump(cond func() bool) (err error) {
+	defer fault.RecoverInvariant(&err)
+	defer func() {
+		if err != nil && s.err == nil {
+			s.err = err
+		}
+	}()
+	return s.eng.RunWhile(cond)
+}
+
+func (s *Session) checkTicket(t Ticket) error {
+	if t < 0 || int(t) >= len(s.fe.cmds) {
+		return fmt.Errorf("pvaunit: ticket %d out of range (have %d)", t, len(s.fe.cmds))
+	}
+	return nil
+}
+
+// info snapshots a ticket. Callers have bounds-checked t.
+func (s *Session) info(t Ticket) TicketInfo {
+	st := &s.fe.state[t]
+	ti := TicketInfo{
+		Ticket:      t,
+		Op:          s.fe.cmds[t].Op,
+		AcceptedAt:  st.acceptedAt,
+		Issued:      st.issued,
+		IssuedAt:    st.issuedAt,
+		Done:        st.completed,
+		CompletedAt: st.completedAt,
+	}
+	if st.completed && ti.Op == memsys.Read {
+		ti.Data = s.fe.lines[t]
+	}
+	return ti
+}
+
+// deviceStats maps one SDRAM device's counters onto the shared Stats
+// shape so Stats.Merge can fold them.
+func deviceStats(ds sdram.Stats) memsys.Stats {
+	return memsys.Stats{
+		SDRAMReads:     ds.Reads,
+		SDRAMWrites:    ds.Writes,
+		Activates:      ds.Activates,
+		Precharges:     ds.Precharges,
+		RowHits:        ds.RowHits,
+		CorrectedECC:   ds.CorrectedECC,
+		UncorrectedECC: ds.UncorrectedECC,
+		ECCRetries:     ds.ECCRetries,
+	}
+}
