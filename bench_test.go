@@ -24,6 +24,7 @@ import (
 // reports the simulated cycles.
 func benchCell(b *testing.B, kind SystemKind, kernel string, stride uint32, align int) {
 	b.Helper()
+	b.ReportAllocs()
 	p := PaperParams(stride, align)
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
@@ -100,6 +101,7 @@ func BenchmarkFig11Vaxpy(b *testing.B) {
 // BenchmarkTable1Complexity regenerates the Table 1 substitute: the
 // structural hardware account of one bank controller.
 func BenchmarkTable1Complexity(b *testing.B) {
+	b.ReportAllocs()
 	var ram int
 	for i := 0; i < b.N; i++ {
 		est, err := Complexity(PaperComplexityParams())
@@ -115,6 +117,7 @@ func BenchmarkTable1Complexity(b *testing.B) {
 // to 32.8x vs a conventional system, 3.3x vs pipelined gathering) from
 // a reduced sweep each iteration.
 func BenchmarkHeadlineRatios(b *testing.B) {
+	b.ReportAllocs()
 	var best float64
 	for i := 0; i < b.N; i++ {
 		points, err := Sweep([]string{"copy", "swap"}, []uint32{1, 16, 19}, nil, false)
@@ -158,6 +161,7 @@ func hashName(s string) uint64 {
 func BenchmarkAblationRowPolicy(b *testing.B) {
 	for _, rp := range []string{"manage-row", "closed-page", "open-page", "hotrow"} {
 		b.Run(rp, func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				sys, err := NewSystem(Config{RowPolicy: rp})
@@ -181,6 +185,7 @@ func BenchmarkAblationRowPolicy(b *testing.B) {
 func BenchmarkAblationSchedPolicy(b *testing.B) {
 	for _, pol := range []string{"paper", "fcfs", "edf", "shortest-job"} {
 		b.Run(pol, func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				sys, err := NewSystem(Config{Policy: pol})
@@ -204,6 +209,7 @@ func BenchmarkAblationSchedPolicy(b *testing.B) {
 func BenchmarkAblationVCWindow(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("vcs%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				sys, err := NewSystem(Config{VCWindow: w})
@@ -225,6 +231,7 @@ func BenchmarkAblationVCWindow(b *testing.B) {
 // BenchmarkSplitVector measures the division-free page split of Section
 // 4.3.2 (the front-end fast path).
 func BenchmarkSplitVector(b *testing.B) {
+	b.ReportAllocs()
 	tlb := IdentityTLB(1<<24, 4096)
 	v := Vector{Base: 12345, Stride: 19, Length: 4096}
 	for i := 0; i < b.N; i++ {
@@ -237,6 +244,7 @@ func BenchmarkSplitVector(b *testing.B) {
 // BenchmarkIndirectGather measures the two-phase vector-indirect gather
 // of Section 7.
 func BenchmarkIndirectGather(b *testing.B) {
+	b.ReportAllocs()
 	e := NewIndirectEngine()
 	for i := uint32(0); i < 32; i++ {
 		e.Store().Write(4096+i, i*97%5000)
@@ -258,6 +266,7 @@ func BenchmarkIndirectGather(b *testing.B) {
 // the worker-pool speedup on multi-core machines (this is the pair the
 // parallel engine exists for; on one core they coincide).
 func BenchmarkSweepSerial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := SweepWithOptions(nil, nil, nil, SweepOptions{Workers: 1}); err != nil {
 			b.Fatal(err)
@@ -268,6 +277,7 @@ func BenchmarkSweepSerial(b *testing.B) {
 // BenchmarkSweepParallel is the same sweep on the worker pool (one
 // goroutine per CPU).
 func BenchmarkSweepParallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := SweepWithOptions(nil, nil, nil, SweepOptions{Workers: 0}); err != nil {
 			b.Fatal(err)
@@ -278,6 +288,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 // BenchmarkStrictTickLoop measures the simulator without event-driven
 // idle skipping — the denominator of the skip machinery's win.
 func BenchmarkStrictTickLoop(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig()
 	cfg.DisableIdleSkip = true
 	k, err := KernelByName("vaxpy")
@@ -299,6 +310,7 @@ func BenchmarkStrictTickLoop(b *testing.B) {
 // BenchmarkSkippingTickLoop is BenchmarkStrictTickLoop with the default
 // event-driven engine.
 func BenchmarkSkippingTickLoop(b *testing.B) {
+	b.ReportAllocs()
 	k, err := KernelByName("vaxpy")
 	if err != nil {
 		b.Fatal(err)
@@ -309,6 +321,30 @@ func BenchmarkSkippingTickLoop(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if _, err := sys.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateRun is the pooled hot path the zero-allocation
+// pin (TestSteadyStateZeroAlloc) guards: one System reused across
+// iterations, so every run after the first recycles command state, line
+// buffers, FIFO entries and device pipe slots from the free lists. The
+// trace is the pin's read/preset-write mix (Compute closures allocate
+// by design), so allocs/op must read 0.
+func BenchmarkSteadyStateRun(b *testing.B) {
+	b.ReportAllocs()
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := steadyTrace()
+	if _, err := sys.Run(trace); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := sys.Run(trace); err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 //	sweep -workers 1      # force the serial engine (0: one per CPU)
 //	sweep -json           # raw measured points as JSON
 //	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
+//	sweep -bench-snapshot 5  # write the BENCH_5.json perf-trajectory point
 //	sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -23,6 +24,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"pva"
@@ -41,6 +43,8 @@ func run() int {
 		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
 		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
+
+		benchSnap = flag.Int("bench-snapshot", -1, "run the perf-trajectory benchmarks and write BENCH_<n>.json for this snapshot number (-1: off)")
 
 		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
 		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
@@ -79,6 +83,10 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			}
 		}()
+	}
+
+	if *benchSnap >= 0 {
+		return benchSnapshot(*benchSnap)
 	}
 
 	var names []string
@@ -130,6 +138,115 @@ func run() int {
 	pva.Figures(os.Stdout, points)
 	fmt.Printf("%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
 		map[bool]string{true: " (verified against reference)", false: ""}[*verify])
+	return 0
+}
+
+// benchSnapshot measures the perf-trajectory benchmarks in-process and
+// writes BENCH_<n>.json in the current directory. The three workloads
+// bracket the simulator's cost envelope: the pooled steady-state Run on
+// a reused System, and the cold event-driven / strict tick loops that
+// rebuild a System per run. EXPERIMENTS.md documents the file format.
+func benchSnapshot(n int) int {
+	k, err := pva.KernelByName("vaxpy")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 2
+	}
+	trace := k.Build(pva.PaperParams(19, 1))
+	strict := pva.DefaultConfig()
+	strict.DisableIdleSkip = true
+
+	cold := func(cfg pva.Config) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys, err := pva.NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Run(trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// The steady-state workload mirrors the TestSteadyStateZeroAlloc
+	// trace: reads and preset-data writes only, since Compute closures
+	// allocate their result lines by design. On a warm reused System
+	// its allocs_per_op must read 0.
+	data := make([]uint32, 32)
+	for i := range data {
+		data[i] = uint32(i) * 3
+	}
+	steadyTrace := pva.Trace{Cmds: []pva.VectorCmd{
+		{Op: pva.Write, V: pva.Vector{Base: 0, Stride: 4, Length: 32}, Data: data},
+		{Op: pva.Read, V: pva.Vector{Base: 1, Stride: 19, Length: 32}},
+		{Op: pva.Read, V: pva.Vector{Base: 7, Stride: 5, Length: 32}},
+		{Op: pva.Write, V: pva.Vector{Base: 3, Stride: 8, Length: 32}, Data: data},
+		{Op: pva.Read, V: pva.Vector{Base: 0, Stride: 4, Length: 32}, DependsOn: []int{0}},
+	}}
+	steady := func(b *testing.B) {
+		b.ReportAllocs()
+		sys, err := pva.NewSystem(pva.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(steadyTrace); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(steadyTrace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	snapshot := struct {
+		Snapshot   int     `json:"snapshot"`
+		GoVersion  string  `json:"go_version"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{Snapshot: n, GoVersion: runtime.Version()}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SteadyStateRun", steady},
+		{"SkippingTickLoop", cold(pva.DefaultConfig())},
+		{"StrictTickLoop", cold(strict)},
+	} {
+		r := testing.Benchmark(bm.fn)
+		snapshot.Benchmarks = append(snapshot.Benchmarks, entry{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	path := fmt.Sprintf("BENCH_%d.json", n)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 2
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snapshot); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
 	return 0
 }
 

@@ -64,6 +64,107 @@ func TestReusedSystemDeterminism(t *testing.T) {
 	}
 }
 
+// shapeTraces returns traces of deliberately different shapes — command
+// counts, strides, element counts, kernel dataflow, and a hand-rolled
+// preset-write mix — to exercise the session-reuse path's pools and
+// capacity-preserving resets across regrowth boundaries.
+func shapeTraces(t *testing.T) []Trace {
+	t.Helper()
+	var shapes []Trace
+	for _, tc := range []struct {
+		kernel string
+		stride uint32
+		elems  uint32
+	}{
+		{"vaxpy", 19, 96},
+		{"copy", 1, 256},
+		{"vaxpy", 4, 64},
+	} {
+		k, err := KernelByName(tc.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := PaperParams(tc.stride, 2)
+		p.Elements = tc.elems
+		shapes = append(shapes, k.Build(p))
+	}
+	data := make([]uint32, 32)
+	for i := range data {
+		data[i] = 0x5eed0000 + uint32(i)
+	}
+	shapes = append(shapes, Trace{Cmds: []VectorCmd{
+		{Op: Write, V: Vector{Base: 64, Stride: 4, Length: 32}, Data: data},
+		{Op: Read, V: Vector{Base: 65, Stride: 7, Length: 17}},
+		{Op: Read, V: Vector{Base: 64, Stride: 4, Length: 32}, DependsOn: []int{0}},
+		{Op: Write, V: Vector{Base: 3, Stride: 33, Length: 8}, Data: data[:8]},
+		{Op: Read, V: Vector{Base: 3, Stride: 33, Length: 8}, DependsOn: []int{3}},
+	}})
+	return shapes
+}
+
+// TestInterleavedShapesReuseBitIdentical is the reuse metamorphic check
+// at full strength: one System runs differently-shaped traces
+// back-to-back, and after each run the result — cycle count, statistics,
+// and every gathered data word — must be bit-identical to a fresh
+// System replaying the same trace prefix (the store legitimately carries
+// memory contents across runs, so the fresh System replays the prefix to
+// reach the same memory state). Any divergence means the pooled buffers,
+// hardware resets, or engine rewind leaked state between runs.
+func TestInterleavedShapesReuseBitIdentical(t *testing.T) {
+	hot := DefaultConfig()
+	hot.RowPolicy = "hotrow"
+	faulty := DefaultConfig()
+	faulty.FaultPlan = FaultPlan{Seed: 11, BitFlipRate: 0.01, DropRate: 0.02}
+	configs := map[string]Config{
+		"default": DefaultConfig(),
+		"hotrow":  hot,
+		"faulty":  faulty,
+	}
+	shapes := shapeTraces(t)
+	for name, cfg := range configs {
+		reused, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range shapes {
+			got, err := reused.Run(shapes[i])
+			if err != nil {
+				t.Fatalf("%s: reused run %d: %v", name, i, err)
+			}
+			fresh, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want Result
+			for j := 0; j <= i; j++ {
+				if want, err = fresh.Run(shapes[j]); err != nil {
+					t.Fatalf("%s: fresh replay %d of prefix %d: %v", name, j, i, err)
+				}
+			}
+			if got.Cycles != want.Cycles {
+				t.Errorf("%s run %d: reused %d cycles, fresh %d", name, i, got.Cycles, want.Cycles)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("%s run %d: stats diverged\nreused: %+v\nfresh:  %+v", name, i, got.Stats, want.Stats)
+			}
+			if len(got.ReadData) != len(want.ReadData) {
+				t.Fatalf("%s run %d: %d read lines, fresh %d", name, i, len(got.ReadData), len(want.ReadData))
+			}
+			for c := range got.ReadData {
+				g, w := got.ReadData[c], want.ReadData[c]
+				if len(g) != len(w) {
+					t.Fatalf("%s run %d cmd %d: %d words, fresh %d", name, i, c, len(g), len(w))
+				}
+				for e := range g {
+					if g[e] != w[e] {
+						t.Fatalf("%s run %d cmd %d word %d: %#x, fresh %#x", name, i, c, e, g[e], w[e])
+					}
+				}
+			}
+		}
+	}
+}
+
 // translate returns the trace with every vector base shifted by off
 // words. Dataflow (DependsOn, Compute) is untouched.
 func translate(tr Trace, off uint32) Trace {

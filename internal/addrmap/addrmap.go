@@ -80,6 +80,14 @@ type ChannelSplitter interface {
 	SplitVector(v core.Vector) []core.Hit
 }
 
+// ChannelAppender is the allocation-free form of ChannelSplitter: the
+// per-channel hits are appended to dst (reusing its capacity) instead
+// of materializing a fresh slice per broadcast. Hot paths hold a scratch
+// slice and call AppendSplit(scratch[:0], v) each command.
+type ChannelAppender interface {
+	AppendSplit(dst []core.Hit, v core.Vector) []core.Hit
+}
+
 // New returns the named decoder: "word" (the default when name is
 // empty), "line", or "xor". channels and banks must be powers of two;
 // lineWords is only consulted by "line".
@@ -165,6 +173,11 @@ func (d *WordInterleave) HitUnit(channel, bank uint32) uint32 {
 // closed form (channel = a mod C).
 func (d *WordInterleave) SplitVector(v core.Vector) []core.Hit {
 	return splitMod(d.C, v)
+}
+
+// AppendSplit implements ChannelAppender with the same closed form.
+func (d *WordInterleave) AppendSplit(dst []core.Hit, v core.Vector) []core.Hit {
+	return appendMod(dst, d.C, v)
 }
 
 // LineInterleave selects the channel at cache-line granularity —
@@ -307,15 +320,24 @@ func (d *XORBank) SplitVector(v core.Vector) []core.Hit {
 	return splitMod(d.C, v)
 }
 
+// AppendSplit implements ChannelAppender with the same closed form.
+func (d *XORBank) AppendSplit(dst []core.Hit, v core.Vector) []core.Hit {
+	return appendMod(dst, d.C, v)
+}
+
 // splitMod computes the per-channel subvectors of v under channel =
 // a mod C using the paper's closed forms at channel granularity.
 func splitMod(channels uint32, v core.Vector) []core.Hit {
+	return appendMod(make([]core.Hit, 0, channels), channels, v)
+}
+
+// appendMod is splitMod appending into caller-owned storage.
+func appendMod(dst []core.Hit, channels uint32, v core.Vector) []core.Hit {
 	g := core.MustGeometry(channels)
-	out := make([]core.Hit, channels)
 	for ch := uint32(0); ch < channels; ch++ {
-		out[ch] = g.SubVector(v, ch)
+		dst = append(dst, g.SubVector(v, ch))
 	}
-	return out
+	return dst
 }
 
 // SplitVector returns the per-channel subvectors of v under any decoder:
@@ -327,13 +349,25 @@ func splitMod(channels uint32, v core.Vector) []core.Hit {
 // meaningful and Delta is a nominal 1 — the bank controllers under such
 // decoders enumerate their own address lists via BankView instead.
 func SplitVector(d Decoder, v core.Vector) []core.Hit {
+	return AppendSplit(nil, d, v)
+}
+
+// AppendSplit is SplitVector appending into caller-owned storage: hits
+// for all of d's channels are appended to dst, which is grown as needed
+// and returned. Passing scratch[:0] from a persistent buffer makes the
+// closed-form decoders allocation-free per broadcast.
+func AppendSplit(dst []core.Hit, d Decoder, v core.Vector) []core.Hit {
+	if a, ok := d.(ChannelAppender); ok {
+		return a.AppendSplit(dst, v)
+	}
 	if s, ok := d.(ChannelSplitter); ok {
-		return s.SplitVector(v)
+		return append(dst, s.SplitVector(v)...)
 	}
-	out := make([]core.Hit, d.Channels())
-	for ch := range out {
-		out[ch] = core.Hit{First: core.NoHit, Delta: 1}
+	base := len(dst)
+	for ch := uint32(0); ch < d.Channels(); ch++ {
+		dst = append(dst, core.Hit{First: core.NoHit, Delta: 1})
 	}
+	out := dst[base:]
 	for i := uint32(0); i < v.Length; i++ {
 		ch := d.Decode(v.Addr(i)).Channel
 		if out[ch].Count == 0 {
@@ -341,7 +375,7 @@ func SplitVector(d Decoder, v core.Vector) []core.Hit {
 		}
 		out[ch].Count++
 	}
-	return out
+	return dst
 }
 
 // BankView is one bank controller's window onto a decoder: ownership and

@@ -115,7 +115,13 @@ type BC struct {
 	// while cfg.Bank stays the controller's global interleave unit.
 	boardBank uint32
 
-	rqf []request // Register File managed as a queue (head = oldest)
+	// The Register File is managed as a queue over a reusable backing
+	// array: rqfHead indexes the oldest live entry, dispatch advances it,
+	// and the array rewinds to its start whenever the queue drains — so
+	// steady-state operation appends into capacity left by earlier
+	// requests instead of allocating.
+	rqf     []request
+	rqfHead int
 
 	sched *scheduler
 	su    *staging
@@ -164,6 +170,23 @@ func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
 	return bc
 }
 
+// Reset returns the controller — request queue, scheduler window,
+// staging units, device — to its power-on state without reallocating
+// any backing storage. Cached sessions call it on reuse; the row policy
+// and board wiring installed at construction are untouched.
+func (bc *BC) Reset() {
+	bc.rqf = bc.rqf[:0]
+	bc.rqfHead = 0
+	bc.cycle = 0
+	bc.stats = Stats{}
+	bc.sched.reset()
+	bc.su.reset()
+	bc.dev.Reset()
+}
+
+// rqfLen is the number of live Register File entries.
+func (bc *BC) rqfLen() int { return len(bc.rqf) - bc.rqfHead }
+
 // SetBoardBank renumbers this controller's transaction-complete line
 // (default: cfg.Bank). Multi-channel front ends use per-channel boards
 // with lines 0..M-1 regardless of the controller's global unit number.
@@ -182,7 +205,7 @@ func (bc *BC) CycleNow() uint64 { return bc.cycle }
 
 // Busy reports whether the controller still has queued or in-flight work.
 func (bc *BC) Busy() bool {
-	return len(bc.rqf) > 0 || bc.sched.busy()
+	return bc.rqfLen() > 0 || bc.sched.busy()
 }
 
 // ObserveCommand is the FirstHit Predict block: called in the cycle a
@@ -207,7 +230,7 @@ func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
 		return
 	}
 	bc.stats.Requests++
-	if len(bc.rqf) >= bc.cfg.RFEntries {
+	if bc.rqfLen() >= bc.cfg.RFEntries {
 		// The bus protocol caps outstanding transactions at the RF size,
 		// so this is a front-end protocol violation, not a backpressure
 		// condition.
@@ -298,7 +321,7 @@ func (bc *BC) NextEventAt() uint64 {
 	// Queued requests (FHC work, dispatch) and live vector contexts need
 	// cycle-by-cycle attention: their next action depends on bank
 	// restimers and arbitration that the per-cycle scheduler resolves.
-	if len(bc.rqf) > 0 || bc.sched.busy() {
+	if bc.rqfLen() > 0 || bc.sched.busy() {
 		return bc.cycle
 	}
 	next := uint64(NoEvent)
@@ -321,7 +344,7 @@ func (bc *BC) AdvanceIdle(delta uint64) error {
 	if delta == 0 {
 		return nil
 	}
-	if len(bc.rqf) > 0 || bc.sched.busy() {
+	if bc.rqfLen() > 0 || bc.sched.busy() {
 		return fmt.Errorf("bankctl: bank %d AdvanceIdle with work queued", bc.cfg.Bank)
 	}
 	if err := bc.dev.AdvanceIdle(delta); err != nil {
@@ -367,7 +390,7 @@ func (bc *BC) stepRefresh() (bool, error) {
 // the ACC flag set (the bypass path to the VC window is modeled by
 // dispatch accepting entries the cycle ACC is set).
 func (bc *BC) stepFHC() {
-	for i := range bc.rqf {
+	for i := bc.rqfHead; i < len(bc.rqf); i++ {
 		r := &bc.rqf[i]
 		if r.acc {
 			continue
@@ -387,17 +410,22 @@ func (bc *BC) stepFHC() {
 // complete and that were enqueued in an earlier cycle (the FHP itself
 // takes the broadcast cycle).
 func (bc *BC) dispatch() {
-	if len(bc.rqf) == 0 {
+	if bc.rqfLen() == 0 {
 		return
 	}
-	head := &bc.rqf[0]
+	head := &bc.rqf[bc.rqfHead]
 	if !head.acc || head.enqueuedAt >= bc.cycle {
 		return
 	}
 	if !bc.sched.accept(*head) {
 		return
 	}
-	bc.rqf = bc.rqf[1:]
+	*head = request{} // drop the slot's references until the array rewinds
+	bc.rqfHead++
+	if bc.rqfHead == len(bc.rqf) {
+		bc.rqf = bc.rqf[:0]
+		bc.rqfHead = 0
+	}
 }
 
 // DebugString summarizes queue and scheduler state for deadlock
@@ -406,8 +434,9 @@ func (bc *BC) DebugString() string {
 	if !bc.Busy() {
 		return ""
 	}
-	s := fmt.Sprintf("bank %d: rqf=%d", bc.cfg.Bank, len(bc.rqf))
-	for _, r := range bc.rqf {
+	s := fmt.Sprintf("bank %d: rqf=%d", bc.cfg.Bank, bc.rqfLen())
+	for i := bc.rqfHead; i < len(bc.rqf); i++ {
+		r := &bc.rqf[i]
 		s += fmt.Sprintf(" [txn%d %v acc=%v first=%d n=%d]", r.txn, r.op, r.acc, r.hit.First, r.hit.Count)
 	}
 	for i, vc := range bc.sched.vcs {

@@ -3,6 +3,11 @@
 // lines until the scheduler consumes them. One read and one write buffer
 // per outstanding transaction — the 2 KB of on-chip RAM in the
 // prototype's synthesis summary (Table 1).
+//
+// Buffers are recycled, never reallocated: openRead/putWrite reuse the
+// capacity left behind by earlier transactions (the hardware's fixed
+// staging RAM), so a warmed-up controller stages lines without touching
+// the allocator.
 
 package bankctl
 
@@ -19,21 +24,34 @@ type readStage struct {
 	words    []uint32 // data, parallel to idxs
 }
 
+type writeStage struct {
+	valid bool
+	buf   []uint32
+}
+
 type staging struct {
 	reads  [bus.MaxTransactions]readStage
-	writes [bus.MaxTransactions][]uint32
+	writes [bus.MaxTransactions]writeStage
 }
 
 func newStaging(banks uint32) *staging { return &staging{} }
 
+// reset clears every transaction's staging state, keeping buffer
+// capacity for the next session.
+func (s *staging) reset() {
+	for t := range s.reads {
+		s.release(t)
+	}
+}
+
 // openRead arms the read staging buffer for txn, expecting count words.
 func (s *staging) openRead(txn int, count uint32) {
-	s.reads[txn] = readStage{
-		open:     true,
-		expected: count,
-		idxs:     make([]uint32, 0, count),
-		words:    make([]uint32, 0, count),
-	}
+	r := &s.reads[txn]
+	r.open = true
+	r.expected = count
+	r.seen = 0
+	r.idxs = r.idxs[:0]
+	r.words = r.words[:0]
 }
 
 // putRead stores one returned word; reports true exactly once, when the
@@ -79,28 +97,36 @@ func (s *staging) collect(txn int, line []uint32) int {
 	return len(r.words)
 }
 
-// putWrite buffers the dense write line for txn (STAGE_WRITE data).
+// putWrite buffers the dense write line for txn (STAGE_WRITE data),
+// copying into the unit's own storage — the caller's slice is never
+// retained.
 func (s *staging) putWrite(txn int, line []uint32) {
-	cp := make([]uint32, len(line))
-	copy(cp, line)
-	s.writes[txn] = cp
+	w := &s.writes[txn]
+	w.buf = append(w.buf[:0], line...)
+	w.valid = true
 }
 
 // takeWrite returns the word for one element of a staged write.
 func (s *staging) takeWrite(txn int, elem uint32) (uint32, bool) {
-	w := s.writes[txn]
-	if w == nil || elem >= uint32(len(w)) {
+	w := &s.writes[txn]
+	if !w.valid || elem >= uint32(len(w.buf)) {
 		return 0, false
 	}
-	return w[elem], true
+	return w.buf[elem], true
 }
 
 // dropWrite discards a staged write line this bank turned out not to
 // need (no elements hit here).
-func (s *staging) dropWrite(txn int) { s.writes[txn] = nil }
+func (s *staging) dropWrite(txn int) { s.writes[txn].valid = false }
 
-// release clears all staging state for a retired transaction.
+// release clears all staging state for a retired transaction, keeping
+// buffer capacity for the next one.
 func (s *staging) release(txn int) {
-	s.reads[txn] = readStage{}
-	s.writes[txn] = nil
+	r := &s.reads[txn]
+	r.open = false
+	r.expected = 0
+	r.seen = 0
+	r.idxs = r.idxs[:0]
+	r.words = r.words[:0]
+	s.writes[txn].valid = false
 }

@@ -86,6 +86,10 @@ type Bus struct {
 // New returns an idle bus.
 func New() *Bus { return &Bus{} }
 
+// Reset returns the bus to its initial idle state. Cached sessions call
+// it on reuse instead of allocating a fresh bus.
+func (b *Bus) Reset() { *b = Bus{} }
+
 // Free returns the first cycle >= now at which a tenure by owner may
 // start, accounting for the turnaround cycle on ownership change. The
 // turnaround cycle immediately follows the previous tenure; if that
@@ -161,6 +165,15 @@ func NewBoard(banks uint32) *Board {
 		banks:   banks,
 		pending: make([]uint64, MaxTransactions),
 		inUse:   make([]bool, MaxTransactions),
+	}
+}
+
+// Reset clears every transaction line and ID, returning the board to
+// its initial state without reallocating the backing arrays.
+func (b *Board) Reset() {
+	for t := range b.inUse {
+		b.inUse[t] = false
+		b.pending[t] = 0
 	}
 }
 

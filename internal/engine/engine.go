@@ -59,6 +59,20 @@ type EventSource interface {
 	NextEventAt() uint64
 }
 
+// Group is a batch of homogeneous clocked components the engine drives
+// through a single interface call per cycle, letting the implementation
+// tick its members in a concrete-type loop — the devirtualized
+// counterpart of registering each member as a Clocked. Step must
+// preserve the per-member contract: tick every member due at cycle
+// (every member when strict is set), catch up lazily-skipped local
+// clocks first, and return the earliest next event across the group
+// (NoEvent when all members are idle). Registration order relative to
+// individual components is preserved: all Clocked components tick
+// before any group, and groups tick in registration order.
+type Group interface {
+	Step(cycle uint64, strict bool) (uint64, error)
+}
+
 // Driver is the per-cycle protocol brain the engine runs: the part of a
 // memory system that issues work to the components and observes their
 // completions.
@@ -99,11 +113,13 @@ type Config struct {
 // Engine is a deterministic clocked scheduler over registered components
 // and one driver.
 type Engine struct {
-	cfg   Config
-	d     Driver
-	comps []Clocked
-	wake  []uint64 // cached NextEventAt per component
-	cycle uint64
+	cfg    Config
+	d      Driver
+	comps  []Clocked
+	wake   []uint64 // cached NextEventAt per component
+	groups []Group
+	gwake  []uint64 // cached group-wide next event per group
+	cycle  uint64
 }
 
 // New returns an engine for the driver. Register the clocked components
@@ -135,6 +151,45 @@ func (e *Engine) Register(c Clocked) *Handle {
 func (h *Handle) Wake(at uint64) {
 	if h.e.wake[h.i] > at {
 		h.e.wake[h.i] = at
+	}
+}
+
+// GroupHandle names a registered group; the driver uses it to pull a
+// lazily-skipped group's next step forward when it hands any member new
+// work mid-cycle.
+type GroupHandle struct {
+	e *Engine
+	i int
+}
+
+// RegisterGroup wires a component group into the engine's tick loop.
+// Groups step after all individually-registered components, in
+// registration order.
+func (e *Engine) RegisterGroup(g Group) *GroupHandle {
+	e.groups = append(e.groups, g)
+	e.gwake = append(e.gwake, e.cycle) // due immediately
+	return &GroupHandle{e: e, i: len(e.groups) - 1}
+}
+
+// Wake schedules the group to step no later than cycle at. The group is
+// responsible for waking the right member; the engine only tracks the
+// group-wide bound.
+func (h *GroupHandle) Wake(at uint64) {
+	if h.e.gwake[h.i] > at {
+		h.e.gwake[h.i] = at
+	}
+}
+
+// Reset rewinds the clock to zero and marks every component and group
+// due immediately, without discarding the registrations. Cached
+// sessions call it on reuse after resetting the components themselves.
+func (e *Engine) Reset() {
+	e.cycle = 0
+	for i := range e.wake {
+		e.wake[i] = 0
+	}
+	for i := range e.gwake {
+		e.gwake[i] = 0
 	}
 }
 
@@ -198,6 +253,19 @@ func (e *Engine) step() error {
 		}
 		e.wake[i] = c.NextEventAt()
 	}
+	for i, g := range e.groups {
+		// Same lazy-ticking rule at group granularity: one cached bound
+		// covers the whole group, and the group's Step applies the
+		// per-member rule internally using concrete types.
+		if !e.cfg.DisableIdleSkip && e.gwake[i] > cycle {
+			continue
+		}
+		next, err := g.Step(cycle, e.cfg.DisableIdleSkip)
+		if err != nil {
+			return err
+		}
+		e.gwake[i] = next
+	}
 	cycle++
 	if !e.cfg.DisableIdleSkip && !e.d.Done() {
 		// Event-driven idle skipping: when every component wake and
@@ -233,6 +301,14 @@ func (e *Engine) nextWake(now uint64) uint64 {
 	// refreshed their entry) in the loop that just ran, and skipped
 	// components' entries still lie in the future by construction.
 	for _, w := range e.wake {
+		if w < next {
+			next = w
+		}
+		if next <= now {
+			return now
+		}
+	}
+	for _, w := range e.gwake {
 		if w < next {
 			next = w
 		}

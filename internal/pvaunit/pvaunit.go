@@ -128,6 +128,11 @@ func SRAMConfig() Config {
 type System struct {
 	cfg   Config
 	store *memsys.Store
+
+	// ses caches the session hardware: Open builds it once and later
+	// Opens rewind it in place, which is what makes repeated Runs on one
+	// System allocation-free in steady state.
+	ses *Session
 }
 
 // New returns a PVA system with a cold (Fill-pattern) store.
@@ -280,11 +285,12 @@ type frontEnd struct {
 	buses  []*bus.Bus   // per channel
 	bcs    [][]*bankctl.BC
 
-	// handles name each live bank controller on the engine, indexed
-	// [channel][bank]; nil entries are hard-faulted (offline) banks. The
-	// front end uses them to force a lazily-skipped controller's tick in
-	// the broadcast cycle.
-	handles [][]*engine.Handle
+	// group batches every live bank controller behind one engine.Group
+	// registration; gidx maps [channel][bank] to the member index (-1
+	// for hard-faulted banks). The front end uses it to force a
+	// lazily-skipped controller's tick in the broadcast cycle.
+	group *bcGroup
+	gidx  [][]int
 
 	lines      [][]uint32 // per command: gathered line (reads) or computed line (writes)
 	remaining  int        // accepted commands not yet retired
@@ -329,6 +335,96 @@ type frontEnd struct {
 	// first is the completed-prefix frontier: every command before it has
 	// retired, so the per-cycle scans start there.
 	first int
+
+	// Free-list pools. Line buffers and per-channel state slices are
+	// recycled instead of reallocated per command: chanState slices
+	// return to chPool the moment their command retires (nothing reads
+	// them afterwards), while line buffers — exposed to callers through
+	// Result and TicketInfo — return to linePool only when the session
+	// is reset for reuse. Every buffer in fe.lines is pool-owned: preset
+	// write data is copied in, never retained, so recycling can never
+	// capture caller memory. hitScratch backs the channel dispatcher's
+	// AppendSplit call; its contents are consumed within accept.
+	linePool   [][]uint32
+	chPool     [][]chanState
+	hitScratch []core.Hit
+}
+
+// getLine returns a zeroed line buffer of n words, reusing pooled
+// capacity when available.
+func (fe *frontEnd) getLine(n uint32) []uint32 {
+	if k := len(fe.linePool); k > 0 {
+		buf := fe.linePool[k-1]
+		fe.linePool = fe.linePool[:k-1]
+		if uint32(cap(buf)) >= n {
+			buf = buf[:n]
+			for j := range buf {
+				buf[j] = 0
+			}
+			return buf
+		}
+	}
+	return make([]uint32, n)
+}
+
+// getChans returns a cleared per-channel state slice of length C,
+// preserving each slot's fallback-index capacity.
+func (fe *frontEnd) getChans(C int) []chanState {
+	if k := len(fe.chPool); k > 0 {
+		ch := fe.chPool[k-1]
+		fe.chPool = fe.chPool[:k-1]
+		if cap(ch) >= C {
+			ch = ch[:C]
+			for j := range ch {
+				fb := ch[j].fbIdxs
+				ch[j] = chanState{fbIdxs: fb[:0]}
+			}
+			return ch
+		}
+	}
+	return make([]chanState, C)
+}
+
+// reset rewinds the front end to the accepting-at-cycle-zero state,
+// recycling every command's buffers into the pools and keeping all
+// slice capacity. The session's reuse path calls it after resetting the
+// hardware (boards, buses, bank controllers, engine).
+func (fe *frontEnd) reset() {
+	for i := range fe.state {
+		st := &fe.state[i]
+		if st.ch != nil {
+			fe.chPool = append(fe.chPool, st.ch)
+			st.ch = nil
+		}
+		// A completed command's line is aliased by fe.lines[i] and is
+		// recycled below; an in-flight read's line exists only here.
+		if st.line != nil && fe.lines[i] == nil {
+			fe.linePool = append(fe.linePool, st.line)
+		}
+		st.line = nil
+	}
+	for i, ln := range fe.lines {
+		if ln != nil {
+			fe.linePool = append(fe.linePool, ln)
+			fe.lines[i] = nil
+		}
+	}
+	fe.cmds = fe.cmds[:0]
+	fe.state = fe.state[:0]
+	fe.lines = fe.lines[:0]
+	fe.remaining = 0
+	fe.issuedLive = 0
+	fe.lastDone = 0
+	fe.pending = false
+	fe.lastProgress = 0
+	fe.first = 0
+	fe.group.reset()
+	for ch := range fe.fbBusy {
+		fe.fbBusy[ch] = 0
+		fe.nacks[ch] = 0
+		fe.retries[ch] = 0
+		fe.fallbk[ch] = 0
+	}
 }
 
 // Done implements engine.Driver: all accepted commands have retired.
@@ -349,8 +445,9 @@ func (fe *frontEnd) accept(c memsys.VectorCmd, now uint64) int {
 	i := len(fe.cmds)
 	C := int(fe.cfg.Channels)
 	M := int(fe.cfg.Banks)
-	hits := addrmap.SplitVector(fe.cfg.Decoder, c.V)
-	st := cmdState{acceptedAt: now, ch: make([]chanState, C)}
+	fe.hitScratch = addrmap.AppendSplit(fe.hitScratch[:0], fe.cfg.Decoder, c.V)
+	hits := fe.hitScratch
+	st := cmdState{acceptedAt: now, ch: fe.getChans(C)}
 	for ch := 0; ch < C; ch++ {
 		st.ch[ch].count = hits[ch].Count
 		st.ch[ch].active = hits[ch].Count > 0
@@ -591,7 +688,7 @@ func (fe *frontEnd) Step(now uint64) error {
 						}
 					}
 					bc.ObserveCommand(c.Op, c.V, st.txn)
-					fe.handles[ch][b].Wake(now)
+					fe.group.Wake(fe.gidx[ch][b], now)
 				}
 				cs.broadcastDone = true
 				fe.progress(now)
@@ -647,7 +744,7 @@ func (fe *frontEnd) Step(now uint64) error {
 				}
 				if cs.stagingStarted && !cs.collected && cs.stageReadEnd == now {
 					if st.line == nil {
-						st.line = make([]uint32, c.V.Length)
+						st.line = fe.getLine(c.V.Length)
 					}
 					got := 0
 					M := len(fe.bcs[ch])
@@ -763,8 +860,13 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 				if err != nil {
 					return err
 				}
-				st.line = data
-				fe.lines[i] = data
+				// Copy into a pool-owned buffer: WriteData may return the
+				// command's own preset Data, and the pools must never
+				// capture caller memory.
+				buf := fe.getLine(uint32(len(data)))
+				copy(buf, data)
+				st.line = buf
+				fe.lines[i] = buf
 			}
 		}
 		if c.Op == memsys.Read {
@@ -882,7 +984,7 @@ func (fe *frontEnd) runFallback(i int, st *cmdState, ch int) {
 	cs := &st.ch[ch]
 	if c.Op == memsys.Read {
 		if st.line == nil {
-			st.line = make([]uint32, c.V.Length)
+			st.line = fe.getLine(c.V.Length)
 		}
 		for _, e := range cs.fbIdxs {
 			st.line[e] = fe.store.Read(c.V.Addr(e))
@@ -929,6 +1031,11 @@ func (fe *frontEnd) finish(i int, st *cmdState, now uint64) {
 	if now > fe.lastDone {
 		fe.lastDone = now
 	}
+	// The per-channel state is never read after retirement: recycle it.
+	// The line buffer lives on (Result and TicketInfo expose it) and is
+	// recycled only at session reset.
+	fe.chPool = append(fe.chPool, st.ch)
+	st.ch = nil
 	for fe.first < len(fe.state) && fe.state[fe.first].completed {
 		fe.first++
 	}

@@ -34,14 +34,54 @@ import (
 // admits it on the first cycle it could.
 //
 // A Session is not safe for concurrent use, and a System supports one
-// live Session at a time (Open resets the row policy and the sessions
-// share the backing store).
+// live Session at a time: Open builds the hardware once and every later
+// Open returns the same Session rewound to cycle zero (hardware state,
+// pools and engine registrations are recycled in place), so opening a
+// new session invalidates the previous handle and every buffer it
+// exposed through Result or TicketInfo.
 type Session struct {
 	sys        *System
 	fe         *frontEnd
 	eng        *engine.Engine
 	queueDepth int
 	err        error // sticky: first engine/protocol failure kills the session
+
+	// Persistent pump conditions: Issue and Wait run on these two
+	// closures (allocated once at Open) instead of constructing one per
+	// call, keeping the steady-state hot path allocation-free.
+	waitTicket Ticket
+	condWait   func() bool
+	condQueue  func() bool
+
+	// Result's reusable output buffers; see Result for the aliasing
+	// contract.
+	readData  [][]uint32
+	chanStats []memsys.Stats
+}
+
+// reuse rewinds the cached session to the accepting-at-cycle-zero state:
+// hardware reset in place (boards, buses, bank controllers, devices,
+// engine clock), front-end state recycled into the pools, sticky error
+// and queue depth restored to their Open defaults. A reused session is
+// bit-identical to a freshly built one — the fault injector is stateless
+// and the row policy is re-reset exactly as Open does.
+func (s *Session) reuse() {
+	if r, ok := s.sys.cfg.RowPolicy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	for ch := range s.fe.boards {
+		s.fe.boards[ch].Reset()
+		s.fe.buses[ch].Reset()
+	}
+	for _, row := range s.fe.bcs {
+		for _, bc := range row {
+			bc.Reset()
+		}
+	}
+	s.fe.reset()
+	s.eng.Reset()
+	s.err = nil
+	s.queueDepth = bus.MaxTransactions
 }
 
 // Ticket names a command accepted by a Session, in admission order.
@@ -71,7 +111,16 @@ type TicketInfo struct {
 // vector buses and bank controllers, all registered on a fresh clocked
 // engine — and returns a Session accepting commands at cycle zero. The
 // batch Run is exactly Open + Issue-everything + Drain.
+//
+// The hardware is built once per System: a second Open returns the same
+// Session rewound in place, which invalidates the previous handle (and
+// the buffers it exposed) but makes repeated Runs on one System
+// allocation-free in steady state.
 func (s *System) Open() (*Session, error) {
+	if s.ses != nil {
+		s.ses.reuse()
+		return s.ses, nil
+	}
 	C := s.cfg.Channels
 	M := s.cfg.Banks
 	dec := s.cfg.Decoder
@@ -164,25 +213,37 @@ func (s *System) Open() (*Session, error) {
 		WatchdogCycles:  s.cfg.WatchdogCycles,
 		DisableIdleSkip: s.cfg.DisableIdleSkip,
 	}, fe)
-	// Registration order is tick order: channel-major, bank-minor, the
-	// order the historical batch loop used. Hard-faulted controllers are
-	// powered off and never registered.
-	fe.handles = make([][]*engine.Handle, C)
+	// Member order is tick order: channel-major, bank-minor, the order
+	// the historical batch loop used. All live controllers sit behind a
+	// single group registration, so the engine's per-cycle dispatch is
+	// one interface call and the per-controller loop runs on concrete
+	// types. Hard-faulted controllers are powered off and never added.
+	fe.group = &bcGroup{}
+	fe.gidx = make([][]int, C)
 	for ch := uint32(0); ch < C; ch++ {
-		fe.handles[ch] = make([]*engine.Handle, M)
+		fe.gidx[ch] = make([]int, M)
 		for b := uint32(0); b < M; b++ {
 			if offline[ch*M+b] {
+				fe.gidx[ch][b] = -1
 				continue
 			}
-			fe.handles[ch][b] = eng.Register(bcs[ch][b])
+			fe.gidx[ch][b] = fe.group.add(bcs[ch][b])
 		}
 	}
-	return &Session{
+	fe.group.h = eng.RegisterGroup(fe.group)
+	ses := &Session{
 		sys:        s,
 		fe:         fe,
 		eng:        eng,
 		queueDepth: bus.MaxTransactions,
-	}, nil
+	}
+	ses.condWait = func() bool { return !ses.fe.state[ses.waitTicket].completed }
+	ses.condQueue = func() bool {
+		return ses.fe.remaining-ses.fe.issuedLive >= ses.queueDepth &&
+			ses.fe.sealed(ses.eng.Now())
+	}
+	s.ses = ses
+	return ses, nil
 }
 
 // SetQueueDepth bounds the number of accepted-but-unissued commands the
@@ -230,10 +291,7 @@ func (s *Session) Issue(c memsys.VectorCmd) (Ticket, error) {
 		// stops, and the command is admitted, on exactly the first cycle
 		// at which its presence could matter.
 		s.fe.pending = true
-		err := s.pump(func() bool {
-			return s.fe.remaining-s.fe.issuedLive >= s.queueDepth &&
-				s.fe.sealed(s.eng.Now())
-		})
+		err := s.pump(s.condQueue)
 		s.fe.pending = false
 		if err != nil {
 			return 0, err
@@ -259,7 +317,8 @@ func (s *Session) Wait(t Ticket) (TicketInfo, error) {
 	if s.err != nil {
 		return TicketInfo{}, s.err
 	}
-	if err := s.pump(func() bool { return !s.fe.state[t].completed }); err != nil {
+	s.waitTicket = t
+	if err := s.pump(s.condWait); err != nil {
 		return TicketInfo{}, err
 	}
 	if !s.fe.state[t].completed {
@@ -282,22 +341,38 @@ func (s *Session) Drain() error {
 // the last retired transaction), the gathered line of every completed
 // read, and the statistics folded from every device and bus via
 // Stats.Merge. After Drain it is exactly what the batch Run returns.
+//
+// ReadData and ChannelStats are the session's own reusable buffers:
+// they stay valid until the next Result call or the next Open/Run on
+// the same System, whichever comes first. Callers that keep results
+// across runs must copy.
 func (s *Session) Result() (memsys.Result, error) {
 	if s.err != nil {
 		return memsys.Result{}, s.err
 	}
 	res := memsys.Result{Cycles: s.fe.lastDone}
 	if len(s.fe.cmds) > 0 {
-		res.ReadData = make([][]uint32, len(s.fe.cmds))
+		rd := s.readData[:0]
 		for i, c := range s.fe.cmds {
+			var line []uint32
 			if c.Op == memsys.Read && s.fe.state[i].completed {
-				res.ReadData[i] = s.fe.lines[i]
+				line = s.fe.lines[i]
 			}
+			rd = append(rd, line)
 		}
+		s.readData = rd
+		res.ReadData = rd
 	}
 	// Fold device and bus counters into the common stats, keeping the
 	// per-channel breakdown.
-	res.ChannelStats = make([]memsys.Stats, s.sys.cfg.Channels)
+	if cap(s.chanStats) < int(s.sys.cfg.Channels) {
+		s.chanStats = make([]memsys.Stats, s.sys.cfg.Channels)
+	}
+	s.chanStats = s.chanStats[:s.sys.cfg.Channels]
+	for i := range s.chanStats {
+		s.chanStats[i] = memsys.Stats{}
+	}
+	res.ChannelStats = s.chanStats
 	for ch := range s.fe.bcs {
 		cs := &res.ChannelStats[ch]
 		for _, bc := range s.fe.bcs[ch] {

@@ -1,0 +1,55 @@
+package pvaunit
+
+import (
+	"testing"
+
+	"pva/internal/core"
+	"pva/internal/memsys"
+)
+
+// TestSessionSteadyStateZeroAlloc pins the streaming hot path: once a
+// session has been warmed past the measured command count (so the
+// ticket-indexed slices never regrow) and reopened (restocking the
+// pools), each Issue+Wait pair allocates nothing. The pump conditions
+// are persistent closures, command state and line buffers come from the
+// free lists, and every component down to the SDRAM read pipe recycles
+// its entries.
+func TestSessionSteadyStateZeroAlloc(t *testing.T) {
+	sys := MustNew(PaperConfig())
+	cmd := func(base uint32) memsys.VectorCmd {
+		return memsys.VectorCmd{Op: memsys.Read, V: core.Vector{Base: base, Stride: 19, Length: 32}}
+	}
+	// Warm with more commands than the measurement issues, then reopen:
+	// the reused session keeps every slice's capacity and the pools hold
+	// every recycled buffer.
+	ses, err := sys.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint32(0); k < 40; k++ {
+		if _, err := ses.Issue(cmd(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ses.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ses, err = sys.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := uint32(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		tk, err := ses.Issue(cmd(k))
+		k++
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ses.Wait(tk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Issue+Wait allocates %.1f objects/op, want 0", allocs)
+	}
+}

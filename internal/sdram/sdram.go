@@ -165,7 +165,8 @@ type Device struct {
 	lastIssue uint64 // cycle of last non-NOP command (one command pin set per cycle)
 	issued    bool
 
-	pipe  []pipeEntry // CL-deep read-out pipeline
+	pipe  []pipeEntry  // CL-deep read-out pipeline
+	out   []ReadResult // Tick's reusable return buffer (valid until the next Tick)
 	stats Stats
 
 	refreshDebt int64  // refresh obligations accrued minus performed
@@ -250,6 +251,24 @@ func New(geom addr.SDRAMGeom, t Timing, store *memsys.Store, bank, banks uint32)
 		stride:      banks,
 		nextRefresh: t.RefreshInterval,
 	}
+}
+
+// Reset returns the device to its power-on state — banks precharged,
+// pipeline empty, counters zeroed, clock at zero — without reallocating
+// any backing array. The store, geometry, compose hook, and injector are
+// untouched; cached sessions call this on reuse.
+func (d *Device) Reset() {
+	for i := range d.banks {
+		d.banks[i] = ibank{}
+		d.accessed[i] = false
+	}
+	d.cycle = 0
+	d.lastIssue = 0
+	d.issued = false
+	d.pipe = d.pipe[:0]
+	d.stats = Stats{}
+	d.refreshDebt = 0
+	d.nextRefresh = d.timing.RefreshInterval
 }
 
 // RefreshDue reports whether at least one refresh obligation is
@@ -513,9 +532,10 @@ func (d *Device) AdvanceIdle(delta uint64) error {
 // Tick ends the current cycle: it returns any read data whose CAS
 // latency matured this cycle (a READ issued at cycle c delivers at cycle
 // c+CL), then advances the clock. Call exactly once per controller
-// cycle, after Issue.
+// cycle, after Issue. The returned slice is the device's own buffer,
+// overwritten by the next Tick; callers consume it before ticking again.
 func (d *Device) Tick() []ReadResult {
-	var out []ReadResult
+	out := d.out[:0]
 	n := 0
 	for _, e := range d.pipe {
 		if e.at <= d.cycle {
@@ -525,6 +545,7 @@ func (d *Device) Tick() []ReadResult {
 			n++
 		}
 	}
+	d.out = out
 	d.pipe = d.pipe[:n]
 	d.cycle++
 	d.issued = false

@@ -24,8 +24,10 @@ func run(t *testing.T, d *Device, steps map[uint64]Request, until uint64) map[ui
 				t.Fatalf("cycle %d: %v", c, err)
 			}
 		}
+		// Tick returns the device's reusable buffer, overwritten by the
+		// next Tick: copy what this harness retains across cycles.
 		if res := d.Tick(); len(res) > 0 {
-			out[c] = res
+			out[c] = append([]ReadResult(nil), res...)
 		}
 	}
 	return out
