@@ -35,6 +35,7 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
 		deadBanks = flag.String("dead-banks", "", "comma-separated hard-faulted bank controllers, flat channel*banks+bank (degraded mode)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
+		parChan   = flag.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
 	)
 	flag.Parse()
 
@@ -65,10 +66,11 @@ func main() {
 	p := pva.PaperParams(uint32(*stride), *align)
 	p.Elements = uint32(*elements)
 	opts := pva.SweepOptions{
-		Channels: uint32(*channels),
-		AddrMap:  *addrmap,
-		Fault:    plan,
-		Watchdog: *watchdog,
+		Channels:         uint32(*channels),
+		AddrMap:          *addrmap,
+		Fault:            plan,
+		Watchdog:         *watchdog,
+		ParallelChannels: *parChan,
 	}
 
 	points := make([]pva.SweepPoint, 0, len(run))

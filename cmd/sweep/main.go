@@ -40,6 +40,7 @@ func run() int {
 		elements     = flag.Uint("elements", 1024, "elements per application vector")
 		verify       = flag.Bool("verify", false, "replay every point against the functional reference")
 		workers      = flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
+		parChan      = flag.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
 		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
 		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
@@ -104,7 +105,8 @@ func run() int {
 			DoubleFlipRate: *faultRate / 100,
 			DropRate:       *faultRate / 10,
 		},
-		Watchdog: *watchdog,
+		Watchdog:         *watchdog,
+		ParallelChannels: *parChan,
 	}
 
 	start := time.Now()
@@ -142,10 +144,12 @@ func run() int {
 }
 
 // benchSnapshot measures the perf-trajectory benchmarks in-process and
-// writes BENCH_<n>.json in the current directory. The three workloads
-// bracket the simulator's cost envelope: the pooled steady-state Run on
-// a reused System, and the cold event-driven / strict tick loops that
-// rebuild a System per run. EXPERIMENTS.md documents the file format.
+// writes BENCH_<n>.json in the current directory. The workloads bracket
+// the simulator's cost envelope: the pooled steady-state Run on a reused
+// System, the cold event-driven / strict tick loops that rebuild a
+// System per run, the same tick loop with the channels on the worker
+// pool, and the full warm-started serial sweep. EXPERIMENTS.md
+// documents the file format.
 func benchSnapshot(n int) int {
 	k, err := pva.KernelByName("vaxpy")
 	if err != nil {
@@ -202,6 +206,39 @@ func benchSnapshot(n int) int {
 		}
 	}
 
+	// The parallel tick loop reuses one multi-channel System with the
+	// worker pool on; allocs_per_op must stay 0 on the warm path.
+	parCfg := pva.DefaultConfig()
+	parCfg.Channels = 4
+	parCfg.ParallelChannels = true
+	parallel := func(b *testing.B) {
+		b.ReportAllocs()
+		sys, err := pva.NewSystem(parCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(trace); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(trace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// The serial sweep is the paper's full 960-point cross product on one
+	// goroutine, warm-starting each cell from the copy-on-write
+	// post-construction checkpoint.
+	sweepSerial := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pva.SweepWithOptions(nil, nil, nil, pva.SweepOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	type entry struct {
 		Name        string  `json:"name"`
 		NsPerOp     float64 `json:"ns_per_op"`
@@ -220,6 +257,8 @@ func benchSnapshot(n int) int {
 		{"SteadyStateRun", steady},
 		{"SkippingTickLoop", cold(pva.DefaultConfig())},
 		{"StrictTickLoop", cold(strict)},
+		{"ParallelTickLoop", parallel},
+		{"SweepSerial", sweepSerial},
 	} {
 		r := testing.Benchmark(bm.fn)
 		snapshot.Benchmarks = append(snapshot.Benchmarks, entry{

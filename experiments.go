@@ -89,8 +89,8 @@ type SweepOptions struct {
 	// Workers bounds the sweep's worker pool: 0 uses one goroutine per
 	// CPU, 1 forces the serial engine, and any other value caps the pool
 	// at that many goroutines. The point order is identical either way —
-	// every cell runs on a fresh System, and results land at their
-	// planned index.
+	// each worker warm-starts cells from a private copy-on-write
+	// checkpoint, and results land at their planned index.
 	Workers int
 	// Channels selects multi-channel system variants; 0 or 1 is the
 	// paper's single-channel configuration.
@@ -105,6 +105,11 @@ type SweepOptions struct {
 	// Watchdog arms the PVA forward-progress watchdog, in cycles
 	// (0: disabled).
 	Watchdog uint64
+	// ParallelChannels ticks each PVA memory channel on its own worker
+	// inside every simulated cycle (see Config.ParallelChannels);
+	// bit-identical results, less wall-clock per point on multi-channel
+	// configurations.
+	ParallelChannels bool
 }
 
 func (o SweepOptions) runner() harness.Runner {
@@ -115,6 +120,7 @@ func (o SweepOptions) runner() harness.Runner {
 		AddrMap:  o.AddrMap,
 		Fault:    o.Fault,
 		Watchdog: o.Watchdog,
+		Parallel: o.ParallelChannels,
 	}
 }
 

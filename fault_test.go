@@ -225,6 +225,31 @@ func TestPublicSentinels(t *testing.T) {
 	}
 }
 
+// TestWatchdogFiresOnParallelPath: the forward-progress watchdog must
+// catch a livelocked channel when the channels tick on the worker pool,
+// not just serially, and its diagnostic dump must still name the stuck
+// tickets (the dump walks front-end state that parallel workers mutate).
+func TestWatchdogFiresOnParallelPath(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Channels = 2
+		cfg.ParallelChannels = parallel
+		cfg.FaultPlan = FaultPlan{Seed: 3, DropRate: 1, MaxRetries: -1}
+		cfg.WatchdogCycles = 2000
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sys.Run(faultTestTrace())
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("parallel=%v: err = %v, want ErrDeadlock", parallel, err)
+		}
+		if !strings.Contains(err.Error(), "stalled tickets") {
+			t.Fatalf("parallel=%v: dump does not name stalled tickets: %v", parallel, err)
+		}
+	}
+}
+
 // FuzzFaultRecovery drives random traces through a fault-injecting PVA
 // system and demands that every run either completes with data matching
 // the functional reference or fails with one of the structured fault

@@ -151,6 +151,10 @@ type SDRAMGeom struct {
 	Rows          uint32 // rows per internal bank
 	ibShift       uint
 	rowShift      uint
+	// rowMask is Rows-1 when Rows is a power of two (every shipped
+	// geometry), letting Decompose mask instead of divide on the
+	// scheduler's per-cycle path; 0 selects the general modulo.
+	rowMask uint32
 }
 
 // NewSDRAMGeom validates and returns an SDRAM geometry.
@@ -166,13 +170,17 @@ func NewSDRAMGeom(internalBanks, rowWords, rows uint32) (SDRAMGeom, error) {
 	if rows == 0 {
 		return SDRAMGeom{}, fmt.Errorf("sdram rows: must be positive")
 	}
-	return SDRAMGeom{
+	g := SDRAMGeom{
 		InternalBanks: internalBanks,
 		RowWords:      rowWords,
 		Rows:          rows,
 		ibShift:       rw,
 		rowShift:      rw + ib,
-	}, nil
+	}
+	if rows&(rows-1) == 0 {
+		g.rowMask = rows - 1
+	}
+	return g, nil
 }
 
 // MustSDRAMGeom is NewSDRAMGeom for known-good constants.
@@ -193,10 +201,16 @@ type Coord struct {
 
 // Decompose maps a per-bank word index to its SDRAM coordinates.
 func (g SDRAMGeom) Decompose(bankWord uint32) Coord {
+	row := bankWord >> g.rowShift
+	if g.rowMask != 0 {
+		row &= g.rowMask
+	} else {
+		row %= g.Rows
+	}
 	return Coord{
 		Col:   bankWord & (g.RowWords - 1),
 		IBank: (bankWord >> g.ibShift) & (g.InternalBanks - 1),
-		Row:   (bankWord >> g.rowShift) % g.Rows,
+		Row:   row,
 	}
 }
 

@@ -129,6 +129,35 @@ func (s *CacheLineSerial) Name() string { return s.name }
 // Peek implements memsys.System.
 func (s *CacheLineSerial) Peek(a uint32) uint32 { return s.store.Read(a) }
 
+// clsSnapshot is a CacheLineSerial checkpoint: the configuration by
+// value plus an immutable memory image.
+type clsSnapshot struct {
+	sys CacheLineSerial
+	img *memsys.Image
+}
+
+// Snapshot implements memsys.Snapshotter.
+func (s *CacheLineSerial) Snapshot() memsys.Checkpoint {
+	return &clsSnapshot{sys: *s, img: s.store.Snapshot()}
+}
+
+// Restore implements memsys.Snapshotter.
+func (s *CacheLineSerial) Restore(cp memsys.Checkpoint) error {
+	sn, ok := cp.(*clsSnapshot)
+	if !ok {
+		return fmt.Errorf("baseline: checkpoint %T is not a cacheline-serial snapshot", cp)
+	}
+	s.store.Restore(sn.img)
+	return nil
+}
+
+// NewSystem implements memsys.Checkpoint.
+func (sn *clsSnapshot) NewSystem() (memsys.System, error) {
+	c := sn.sys
+	c.store = memsys.NewStoreFrom(sn.img)
+	return &c, nil
+}
+
 // Run implements memsys.System: serial, 20 cycles per distinct line
 // touched, in reference order.
 func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
@@ -248,6 +277,34 @@ func (s *GatheringSerial) Name() string { return "gathering-serial" }
 
 // Peek implements memsys.System.
 func (s *GatheringSerial) Peek(a uint32) uint32 { return s.store.Read(a) }
+
+// gsSnapshot is a GatheringSerial checkpoint.
+type gsSnapshot struct {
+	sys GatheringSerial
+	img *memsys.Image
+}
+
+// Snapshot implements memsys.Snapshotter.
+func (s *GatheringSerial) Snapshot() memsys.Checkpoint {
+	return &gsSnapshot{sys: *s, img: s.store.Snapshot()}
+}
+
+// Restore implements memsys.Snapshotter.
+func (s *GatheringSerial) Restore(cp memsys.Checkpoint) error {
+	sn, ok := cp.(*gsSnapshot)
+	if !ok {
+		return fmt.Errorf("baseline: checkpoint %T is not a gathering-serial snapshot", cp)
+	}
+	s.store.Restore(sn.img)
+	return nil
+}
+
+// NewSystem implements memsys.Checkpoint.
+func (sn *gsSnapshot) NewSystem() (memsys.System, error) {
+	c := sn.sys
+	c.store = memsys.NewStoreFrom(sn.img)
+	return &c, nil
+}
 
 // Run implements memsys.System: per command, precharge + RAS + CAS once
 // (closed-page policy, page crossings optimistically ignored), then one

@@ -1,0 +1,151 @@
+// Parallel group stepping: the engine's opt-in concurrency for
+// registered Groups (Config.ParallelGroups).
+//
+// Determinism contract. Within one cycle the groups an engine steps are
+// independent by construction — the pvaunit session registers one group
+// per memory channel, and channels share no mutable state during their
+// ticks (the store's page table is concurrency-safe, per-channel buses
+// and boards are channel-private, the fault injector is stateless).
+// The engine therefore may step the due groups in any order, or all at
+// once, without changing any group's outcome. What it must keep
+// deterministic is everything it derives from the set of outcomes:
+//
+//   - each group's next-wake lands in its own slot and the idle-skip
+//     bound is a min-fold over the slots (order-independent);
+//   - when several groups fail in one cycle, the error surfaced is the
+//     lowest-registered group's, exactly the one the serial loop would
+//     have returned.
+//
+// The barrier is per cycle: no group observes cycle N+1 until every due
+// group has finished cycle N, which is the same happens-before edge the
+// serial loop provides.
+//
+// Pool shape. Workers are process-global, spawned once on first use and
+// shared by every parallel engine in the process (concurrent engines —
+// sweep workers — interleave their tasks; correctness holds because a
+// task carries its own result slot and barrier). A global pool keeps
+// the steady state allocation-free (no per-cycle goroutine spawn, no
+// per-engine goroutines to leak when a System is dropped) and bounds
+// total concurrency at GOMAXPROCS regardless of how many engines run.
+// Workers never block on anything but the task channel, so queued tasks
+// from any number of engines always drain: no deadlock is possible as
+// long as group Steps themselves do not submit tasks (they do not).
+
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"pva/internal/fault"
+)
+
+// groupTask is one group step dispatched to the shared pool.
+type groupTask struct {
+	g      Group
+	cycle  uint64
+	strict bool
+	res    *groupResult
+	wg     *sync.WaitGroup
+}
+
+// groupResult is a per-group outcome slot, owned by one engine and
+// written by at most one worker per cycle. The wg.Done release and the
+// engine's wg.Wait acquire order the write against the merge.
+type groupResult struct {
+	next uint64
+	err  error
+}
+
+var stepPool struct {
+	once sync.Once
+	ch   chan groupTask
+}
+
+// poolTasks returns the shared task channel, spawning the workers on
+// first use.
+func poolTasks() chan groupTask {
+	stepPool.once.Do(func() {
+		stepPool.ch = make(chan groupTask, 64)
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2 // GOMAXPROCS=1 still wants overlap with the submitter
+		}
+		if n > 16 {
+			n = 16
+		}
+		for i := 0; i < n; i++ {
+			go poolWorker(stepPool.ch)
+		}
+	})
+	return stepPool.ch
+}
+
+func poolWorker(ch chan groupTask) {
+	for t := range ch {
+		t.res.next, t.res.err = stepGroupSafe(t.g, t.cycle, t.strict)
+		t.wg.Done()
+	}
+}
+
+// stepGroupSafe converts an invariant panic inside a group's tick into
+// an error carried through the result slot, mirroring what the serial
+// path's Run-boundary recovery would do; any other panic is a simulator
+// bug and crashes as it would have serially.
+func stepGroupSafe(g Group, cycle uint64, strict bool) (next uint64, err error) {
+	defer fault.RecoverInvariant(&err)
+	return g.Step(cycle, strict)
+}
+
+// stepGroupsParallel steps every due group concurrently on the shared
+// pool and merges outcomes in registration order. Cycles with zero or
+// one due group take the serial path inline: the barrier only pays for
+// itself when there is real overlap to win.
+func (e *Engine) stepGroupsParallel(cycle uint64) error {
+	strict := e.cfg.DisableIdleSkip
+	due, last := 0, -1
+	for i := range e.groups {
+		if !strict && e.gwake[i] > cycle {
+			continue
+		}
+		due++
+		last = i
+	}
+	if due == 0 {
+		return nil
+	}
+	if due == 1 {
+		next, err := e.groups[last].Step(cycle, strict)
+		if err != nil {
+			return err
+		}
+		e.gwake[last] = next
+		return nil
+	}
+	ch := poolTasks()
+	e.barrier.Add(due)
+	for i := range e.groups {
+		if !strict && e.gwake[i] > cycle {
+			continue
+		}
+		ch <- groupTask{g: e.groups[i], cycle: cycle, strict: strict, res: &e.gres[i], wg: &e.barrier}
+	}
+	e.barrier.Wait()
+	// Deterministic merge: wakes land by slot; the first error in
+	// registration order wins, matching the serial loop's early return.
+	var firstErr error
+	for i := range e.groups {
+		if !strict && e.gwake[i] > cycle {
+			continue
+		}
+		if e.gres[i].err != nil {
+			if firstErr == nil {
+				firstErr = e.gres[i].err
+			}
+			e.gres[i].err = nil
+			continue
+		}
+		e.gwake[i] = e.gres[i].next
+	}
+	return firstErr
+}

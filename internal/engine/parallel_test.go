@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pva/internal/fault"
+)
+
+// fakeGroup batches fakeComps behind the Group interface the way the
+// pvaunit session batches one channel's bank controllers.
+type fakeGroup struct {
+	comps []*fakeComp
+	wake  []uint64
+	// failAt, when nonzero, makes Step return failErr at that cycle.
+	failAt  uint64
+	failErr error
+	// panicAt, when nonzero, raises a simulator invariant at that cycle.
+	panicAt uint64
+}
+
+func newFakeGroup(periods ...uint64) *fakeGroup {
+	g := &fakeGroup{}
+	for _, p := range periods {
+		g.comps = append(g.comps, newFakeComp(p, p))
+		g.wake = append(g.wake, 0)
+	}
+	return g
+}
+
+func (g *fakeGroup) Step(cycle uint64, strict bool) (uint64, error) {
+	if g.failAt != 0 && cycle >= g.failAt {
+		return 0, g.failErr
+	}
+	if g.panicAt != 0 && cycle >= g.panicAt {
+		fault.Invariantf("fakeGroup", "boom at %d", cycle)
+	}
+	next := uint64(NoEvent)
+	for i, c := range g.comps {
+		if !strict && g.wake[i] > cycle {
+			if g.wake[i] < next {
+				next = g.wake[i]
+			}
+			continue
+		}
+		if lag := c.CycleNow(); lag < cycle {
+			if err := c.AdvanceIdle(cycle - lag); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.Tick(); err != nil {
+			return 0, err
+		}
+		g.wake[i] = c.NextEventAt()
+		if g.wake[i] < next {
+			next = g.wake[i]
+		}
+	}
+	return next, nil
+}
+
+// TestParallelGroupEquivalence pins the tentpole at the engine layer:
+// stepping independent groups on the worker pool produces exactly the
+// per-component event times, driver trajectory, and final clock of the
+// serial loop, with and without idle skipping.
+func TestParallelGroupEquivalence(t *testing.T) {
+	run := func(parallel, strict bool) ([]*fakeGroup, *fakeDriver, uint64) {
+		groups := []*fakeGroup{
+			newFakeGroup(3, 7),
+			newFakeGroup(5),
+			newFakeGroup(2, 11, 13),
+			newFakeGroup(17),
+		}
+		d := &fakeDriver{n: 20, stride: 6}
+		e := New(Config{ParallelGroups: parallel, DisableIdleSkip: strict}, d)
+		for _, g := range groups {
+			e.RegisterGroup(g)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("run(parallel=%v strict=%v): %v", parallel, strict, err)
+		}
+		return groups, d, e.Now()
+	}
+	for _, strict := range []bool{false, true} {
+		gs, ds, ends := run(false, strict)
+		gp, dp, endp := run(true, strict)
+		for gi := range gs {
+			for ci := range gs[gi].comps {
+				s, p := gs[gi].comps[ci], gp[gi].comps[ci]
+				if fmt.Sprint(s.events) != fmt.Sprint(p.events) {
+					t.Errorf("strict=%v group %d comp %d events diverge:\nserial   %v\nparallel %v",
+						strict, gi, ci, s.events, p.events)
+				}
+				if s.ticks != p.ticks {
+					t.Errorf("strict=%v group %d comp %d ticks diverge: serial %d parallel %d",
+						strict, gi, ci, s.ticks, p.ticks)
+				}
+			}
+		}
+		if ds.done != dp.done || fmt.Sprint(ds.steps) != fmt.Sprint(dp.steps) {
+			t.Errorf("strict=%v driver trajectory diverges", strict)
+		}
+		if ends != endp {
+			t.Errorf("strict=%v final clock diverges: serial %d parallel %d", strict, ends, endp)
+		}
+	}
+}
+
+// TestParallelGroupErrorOrder pins deterministic error selection: when
+// several groups fail in the same cycle, the surfaced error is the
+// lowest-registered group's — the one the serial loop would return —
+// regardless of worker scheduling.
+func TestParallelGroupErrorOrder(t *testing.T) {
+	e0 := errors.New("group 0 failed")
+	e2 := errors.New("group 2 failed")
+	for trial := 0; trial < 50; trial++ {
+		g0 := newFakeGroup(1)
+		g0.failAt, g0.failErr = 5, e0
+		g1 := newFakeGroup(1)
+		g2 := newFakeGroup(1)
+		g2.failAt, g2.failErr = 5, e2
+		d := &fakeDriver{n: 100, stride: 1}
+		e := New(Config{ParallelGroups: true, DisableIdleSkip: true}, d)
+		e.RegisterGroup(g0)
+		e.RegisterGroup(g1)
+		e.RegisterGroup(g2)
+		if err := e.Run(); !errors.Is(err, e0) {
+			t.Fatalf("trial %d: got %v, want group 0's error", trial, err)
+		}
+	}
+}
+
+// TestParallelGroupInvariantPanic pins that a simulator invariant raised
+// inside a pool worker surfaces as the same *fault.InvariantError the
+// serial path's Run-boundary recovery would produce, instead of killing
+// the process from a worker goroutine.
+func TestParallelGroupInvariantPanic(t *testing.T) {
+	g0 := newFakeGroup(1)
+	g1 := newFakeGroup(1)
+	g1.panicAt = 3
+	d := &fakeDriver{n: 100, stride: 1}
+	e := New(Config{ParallelGroups: true, DisableIdleSkip: true}, d)
+	e.RegisterGroup(g0)
+	e.RegisterGroup(g1)
+	err := e.Run()
+	var ie *fault.InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %v (%T), want *fault.InvariantError", err, err)
+	}
+}
+
+// TestParallelWatchdog pins that the engine backstops are unchanged by
+// parallel stepping: a stalled driver still trips the watchdog at the
+// serial cycle.
+func TestParallelWatchdog(t *testing.T) {
+	d := &fakeDriver{n: 1, stride: NoEvent / 2}
+	e := New(Config{WatchdogCycles: 50, ParallelGroups: true}, d)
+	e.RegisterGroup(newFakeGroup(1))
+	e.RegisterGroup(newFakeGroup(2))
+	err := e.Run()
+	var de *fault.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if de.Cycle != 51 {
+		t.Errorf("watchdog fired at cycle %d, want 51", de.Cycle)
+	}
+}

@@ -110,6 +110,11 @@ type Runner struct {
 	// Watchdog arms the PVA forward-progress watchdog, in cycles
 	// (0: disabled).
 	Watchdog uint64
+	// Parallel opts the PVA systems into concurrent per-channel engine
+	// stepping (pvaunit.Config.Parallel). Results are bit-identical to
+	// the serial engine; it only changes wall-clock time, and only for
+	// multi-channel configurations.
+	Parallel bool
 }
 
 // channels normalizes the channel count (0 means 1).
@@ -126,7 +131,7 @@ func (r Runner) channels() uint32 {
 // to the paper configuration by code identity rather than by argument.
 func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 	if r.channels() <= 1 && (r.AddrMap == "" || r.AddrMap == "word") &&
-		!r.Fault.Active() && r.Watchdog == 0 {
+		!r.Fault.Active() && r.Watchdog == 0 && !r.Parallel {
 		return NewSystem(k)
 	}
 	switch k {
@@ -143,6 +148,7 @@ func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 		cfg.Decoder = dec
 		cfg.Fault = r.Fault
 		cfg.WatchdogCycles = r.Watchdog
+		cfg.Parallel = r.Parallel
 		return pvaunit.New(cfg)
 	case CacheLineSerial:
 		// A line-fill system parallelizes at line granularity whatever the
@@ -168,33 +174,47 @@ func (r Runner) params(stride uint32, alignment int) kernels.Params {
 	return p
 }
 
-// RunPoint measures one (kernel, stride, alignment, system) cell.
+// RunPoint measures one (kernel, stride, alignment, system) cell on a
+// freshly constructed system. Sweeps use the warm-start path instead
+// (see cellRunner); the two are bit-identical.
 func (r Runner) RunPoint(kernel kernels.Kernel, stride uint32, alignment int, kind SystemKind) (Point, error) {
-	trace := kernel.Build(r.params(stride, alignment))
 	sys, err := r.newSystem(kind)
 	if err != nil {
 		return Point{}, err
 	}
+	return r.measure(sys, job{kernel: kernel, stride: stride, alignment: alignment, system: kind})
+}
+
+// measure runs one cell's trace on an already-constructed (fresh or
+// rewound-to-cold) system and assembles its Point.
+func (r Runner) measure(sys memsys.System, j job) (Point, error) {
+	trace := j.kernel.Build(r.params(j.stride, j.alignment))
 	res, err := sys.Run(trace)
 	if err != nil {
 		return Point{}, fmt.Errorf("harness: %s stride %d align %d on %s: %w",
-			kernel.Name, stride, alignment, kind, err)
+			j.kernel.Name, j.stride, j.alignment, j.system, err)
 	}
 	if r.Verify {
 		if err := verify(sys, trace, res); err != nil {
 			return Point{}, fmt.Errorf("harness: %s stride %d align %d on %s: %w",
-				kernel.Name, stride, alignment, kind, err)
+				j.kernel.Name, j.stride, j.alignment, j.system, err)
 		}
 	}
+	// ChannelStats is the session's reusable buffer; the Point outlives
+	// the next Run on a warm-started system, so it must own a copy.
+	var perChan []memsys.Stats
+	if len(res.ChannelStats) > 0 {
+		perChan = append(perChan, res.ChannelStats...)
+	}
 	return Point{
-		Kernel:    kernel.Name,
-		Stride:    stride,
-		Alignment: alignment,
-		System:    kind,
+		Kernel:    j.kernel.Name,
+		Stride:    j.stride,
+		Alignment: j.alignment,
+		System:    j.system,
 		Channels:  r.channels(),
 		Cycles:    res.Cycles,
 		Stats:     res.Stats,
-		PerChan:   res.ChannelStats,
+		PerChan:   perChan,
 	}, nil
 }
 
@@ -280,8 +300,9 @@ func (r Runner) Sweep(kernelNames []string, strides []uint32, systems []SystemKi
 		return nil, err
 	}
 	points := make([]Point, len(jobs))
+	cells := cellRunner{r: r}
 	for i, j := range jobs {
-		p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+		p, err := cells.runPoint(j)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,10 @@
 // The parallel sweep engine: the same cell list the serial Sweep
-// executes, sharded over a bounded worker pool. Every worker constructs
-// its own memsys.System per point (RunPoint already does), so no
-// simulator state is shared between goroutines, and results land at
-// their planned index, making the output deterministically identical to
-// the serial sweep regardless of scheduling.
+// executes, sharded over a bounded worker pool. Every worker owns a
+// private cellRunner (warm-started systems are never shared between
+// goroutines; clones and checkpoints may share immutable pages only),
+// and results land at their planned index, making the output
+// deterministically identical to the serial sweep regardless of
+// scheduling.
 
 package harness
 
@@ -12,21 +13,57 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pva/internal/memsys"
 )
+
+// cellRunner executes sweep cells with warm-started systems: the first
+// cell of each kind constructs the system and captures its
+// post-construction (cold-memory) checkpoint; every later cell rewinds
+// the memory image to that checkpoint — an O(1) copy-on-write pointer
+// swap — and reuses the cached session hardware instead of rebuilding
+// it. Bit-identity with the cold path is pinned by the harness
+// equivalence tests and the seed-cycle golden.
+type cellRunner struct {
+	r    Runner
+	sys  [numSystems]memsys.Snapshotter
+	base [numSystems]memsys.Checkpoint
+}
+
+// runPoint measures one cell, warm-starting when the system supports it
+// and falling back to fresh construction when it does not.
+func (c *cellRunner) runPoint(j job) (Point, error) {
+	k := j.system
+	if c.sys[k] != nil {
+		if err := c.sys[k].Restore(c.base[k]); err != nil {
+			return Point{}, err
+		}
+		return c.r.measure(c.sys[k], j)
+	}
+	sys, err := c.r.newSystem(k)
+	if err != nil {
+		return Point{}, err
+	}
+	if sn, ok := sys.(memsys.Snapshotter); ok {
+		c.sys[k] = sn
+		c.base[k] = sn.Snapshot()
+	}
+	return c.r.measure(sys, j)
+}
 
 // runPointSafe measures one cell, converting any panic escaping the
 // point (a kernel builder bug, a simulator invariant that slipped past
 // the Run-boundary recovery) into an error that names the failing cell.
 // Without this a panicking pool worker would kill the whole process
 // with a goroutine stack instead of failing the sweep.
-func (r Runner) runPointSafe(j job) (p Point, err error) {
+func (c *cellRunner) runPointSafe(j job) (p Point, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("harness: panic in %s stride %d align %d on %s: %v",
 				j.kernel.Name, j.stride, j.alignment, j.system, rec)
 		}
 	}()
-	return r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+	return c.runPoint(j)
 }
 
 // ParallelSweep measures the same cross product as Sweep using up to
@@ -55,8 +92,9 @@ func (r Runner) sweep(jobs []job, workers int) ([]Point, error) {
 	if workers <= 1 {
 		// One worker is exactly the serial sweep; skip the pool machinery.
 		points := make([]Point, len(jobs))
+		cells := cellRunner{r: r}
 		for i, j := range jobs {
-			p, err := r.runPointSafe(j)
+			p, err := cells.runPointSafe(j)
 			if err != nil {
 				return nil, err
 			}
@@ -77,13 +115,14 @@ func (r Runner) sweep(jobs []job, workers int) ([]Point, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cells := cellRunner{r: r} // warm systems are per-worker, never shared
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
 				j := jobs[i]
-				p, err := r.runPointSafe(j)
+				p, err := cells.runPointSafe(j)
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					failed.Store(true)

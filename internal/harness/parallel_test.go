@@ -78,3 +78,43 @@ func TestParallelSweepPanicPropagates(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmStartMatchesCold pins the warm-start sweep path: every cell
+// measured on a Restore()d reused system must equal the same cell
+// measured on a freshly constructed one, across all system kinds,
+// with Verify on so the functional reference also checks the restored
+// memory image. It also requires later warm runs not to corrupt earlier
+// Points (the per-channel stats buffer must be copied out).
+func TestWarmStartMatchesCold(t *testing.T) {
+	r := Runner{Elements: 128, Verify: true, Channels: 2}
+	jobs, err := plan([]string{"copy", "saxpy"}, []uint32{1, 4, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := make([]Point, len(jobs))
+	for i, j := range jobs {
+		p, err := r.RunPoint(j.kernel, j.stride, j.alignment, j.system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[i] = p
+	}
+	cells := cellRunner{r: r}
+	warm := make([]Point, len(jobs))
+	for i, j := range jobs {
+		p, err := cells.runPoint(j)
+		if err != nil {
+			t.Fatalf("warm cell %d: %v", i, err)
+		}
+		warm[i] = p
+	}
+	// Compare only after the whole warm sweep so aliased buffers in an
+	// early Point would have been clobbered by later runs.
+	for i := range jobs {
+		if !reflect.DeepEqual(cold[i], warm[i]) {
+			t.Errorf("cell %d (%s stride %d align %d on %s) diverged:\ncold %+v\nwarm %+v",
+				i, jobs[i].kernel.Name, jobs[i].stride, jobs[i].alignment, jobs[i].system,
+				cold[i], warm[i])
+		}
+	}
+}

@@ -185,6 +185,32 @@ type System interface {
 	Peek(a uint32) uint32
 }
 
+// Checkpoint is an opaque copy-on-write image of a System's memory and
+// configuration, captured by Snapshotter.Snapshot. Checkpoints are
+// immutable and safe to share across goroutines.
+type Checkpoint interface {
+	// NewSystem returns a fresh, fully independent System warm-started
+	// from the checkpoint: same configuration, memory contents restored
+	// to the captured image, nothing aliased mutably with the source
+	// system or with sibling clones.
+	NewSystem() (System, error)
+}
+
+// Snapshotter is implemented by Systems supporting cheap checkpoint,
+// clone, and rewind over a copy-on-write store. The sweep harness uses
+// it to warm-start each cell from a post-construction checkpoint
+// instead of rebuilding the system.
+type Snapshotter interface {
+	System
+	// Snapshot captures the system's current memory image and
+	// configuration. Must be called between runs, never mid-cycle.
+	Snapshot() Checkpoint
+	// Restore rewinds the system's memory to a checkpoint previously
+	// taken from this system (or one of its clones). Cached session
+	// hardware is kept; only the memory image rewinds.
+	Restore(Checkpoint) error
+}
+
 // Fill is the deterministic initial content of every word of every
 // memory system and of the reference memory: systems lazily materialize
 // Fill(addr) for never-written words, so all models agree on cold

@@ -86,6 +86,18 @@ type Config struct {
 	// cycles in which no component changes state).
 	DisableIdleSkip bool
 
+	// Parallel steps the per-channel bank-controller groups concurrently
+	// on the engine's shared worker pool, with a deterministic barrier
+	// per cycle. Cycle counts, data, statistics, and per-ticket
+	// timestamps are bit-identical to the serial loop: channels share no
+	// mutable state during their ticks (the store's page table is
+	// concurrency-safe; buses, boards, and devices are channel-private;
+	// the fault injector is stateless), and the engine merges per-group
+	// outcomes in fixed channel order. It is ignored — the serial loop
+	// runs — when there is only one channel or when a shared stateful
+	// row policy (the hot-row predictor) would train in tick order.
+	Parallel bool
+
 	// Fault describes the run's fault injection (fault.Plan zero value:
 	// no faults, zero cost, bit-identical to a faultless build).
 	Fault fault.Plan
@@ -198,6 +210,58 @@ func (s *System) Name() string {
 // Peek implements memsys.System.
 func (s *System) Peek(a uint32) uint32 { return s.store.Read(a) }
 
+// Snapshot is a copy-on-write checkpoint of a System: its configuration
+// plus an immutable image of the memory contents at capture time. A
+// Snapshot is safe to share across goroutines; any number of Systems
+// can be cloned from it (each with its own session hardware and its own
+// copy-on-write view of the image, never aliasing another's mutable
+// state). It implements memsys.Checkpoint.
+type Snapshot struct {
+	cfg Config
+	img *memsys.Image
+}
+
+// Snapshot implements memsys.Snapshotter: capture the system's current
+// memory image and configuration. Call it between runs, never while a
+// session is pumping. Config-referenced helpers (decoder, scheduling
+// policy) are shared by reference — they are stateless by contract —
+// and a stateful row policy stays shared too, so clones of a hot-row
+// system must not run concurrently (the same restriction that already
+// gates parallel channel stepping).
+func (s *System) Snapshot() memsys.Checkpoint { return s.snapshot() }
+
+func (s *System) snapshot() *Snapshot {
+	return &Snapshot{cfg: s.cfg, img: s.store.Snapshot()}
+}
+
+// Clone returns a fresh System warm-started from the checkpoint: same
+// configuration, memory restored to the captured image at copy-on-write
+// cost (one map header now; pages copy only when first written).
+func (sn *Snapshot) Clone() *System {
+	return &System{cfg: sn.cfg, store: memsys.NewStoreFrom(sn.img)}
+}
+
+// NewSystem implements memsys.Checkpoint.
+func (sn *Snapshot) NewSystem() (memsys.System, error) { return sn.Clone(), nil }
+
+// Clone returns an independent copy of the system frozen at its current
+// memory state. Equivalent to Snapshot followed by Clone.
+func (s *System) Clone() *System { return s.snapshot().Clone() }
+
+// Restore implements memsys.Snapshotter: rewind this system's memory to
+// a checkpoint previously taken from it (or from one of its clones) in
+// O(1), discarding everything written since. The cached session
+// hardware is kept — the next Open rewinds it in place as usual — so a
+// restore-then-run cycle stays allocation-free in steady state.
+func (s *System) Restore(cp memsys.Checkpoint) error {
+	sn, ok := cp.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("pvaunit: checkpoint %T is not a pvaunit snapshot", cp)
+	}
+	s.store.Restore(sn.img)
+	return nil
+}
+
 // chanState tracks one command's progress on one memory channel.
 type chanState struct {
 	active         bool   // this channel owns at least one element
@@ -285,12 +349,25 @@ type frontEnd struct {
 	buses  []*bus.Bus   // per channel
 	bcs    [][]*bankctl.BC
 
-	// group batches every live bank controller behind one engine.Group
-	// registration; gidx maps [channel][bank] to the member index (-1
-	// for hard-faulted banks). The front end uses it to force a
-	// lazily-skipped controller's tick in the broadcast cycle.
-	group *bcGroup
-	gidx  [][]int
+	// groups batches each channel's live bank controllers behind one
+	// engine.Group registration per channel (registration order is
+	// channel order, so the serial engine ticks them exactly as the
+	// historical single all-channel group did, and the parallel engine
+	// steps whole channels concurrently); gidx maps [channel][bank] to
+	// the member index within its channel's group (-1 for hard-faulted
+	// banks). The front end uses it to force a lazily-skipped
+	// controller's tick in the broadcast cycle.
+	groups []*bcGroup
+	gidx   [][]int
+
+	// obsBuf, when parallel stepping runs with tracing on, holds each
+	// channel's private bank-controller event buffer: controllers emit
+	// into their channel's buffer during the (concurrent) group step,
+	// and the front end drains the buffers to the real sink in channel
+	// order — reproducing the exact serial event stream. nil when
+	// tracing is off or stepping is serial (events then flow through
+	// unbuffered).
+	obsBuf []*chanObserver
 
 	lines      [][]uint32 // per command: gathered line (reads) or computed line (writes)
 	remaining  int        // accepted commands not yet retired
@@ -335,6 +412,13 @@ type frontEnd struct {
 	// first is the completed-prefix frontier: every command before it has
 	// retired, so the per-cycle scans start there.
 	first int
+	// issuedHi is one past the highest command index that has ever
+	// issued. Per-channel tenures (reserved/staging state) exist only on
+	// issued commands, so Step's broadcast and retire scans — and the
+	// drain-priority scan — stop there instead of walking every admitted
+	// command; in batch mode the whole trace is admitted up front, so
+	// this bound is what keeps those scans O(in-flight) per cycle.
+	issuedHi int
 
 	// Free-list pools. Line buffers and per-channel state slices are
 	// recycled instead of reallocated per command: chanState slices
@@ -418,7 +502,13 @@ func (fe *frontEnd) reset() {
 	fe.pending = false
 	fe.lastProgress = 0
 	fe.first = 0
-	fe.group.reset()
+	fe.issuedHi = 0
+	for _, g := range fe.groups {
+		g.reset()
+	}
+	for _, o := range fe.obsBuf {
+		o.events = o.events[:0]
+	}
 	for ch := range fe.fbBusy {
 		fe.fbBusy[ch] = 0
 		fe.nacks[ch] = 0
@@ -626,14 +716,20 @@ func (fe *frontEnd) debugString() string {
 // schedule the next bus tenure on every channel (which may begin this
 // very cycle), then deliver due events and observe completion lines.
 func (fe *frontEnd) Step(now uint64) error {
+	if fe.obsBuf != nil {
+		// Drain the previous cycle's buffered bank events before this
+		// cycle's front-end events, preserving the serial event order.
+		fe.flushObs()
+	}
 	for ch := range fe.buses {
 		if err := fe.scheduleChannel(ch, now); err != nil {
 			return err
 		}
 	}
 	// Write data lands in the staging units at the end of each channel's
-	// STAGE_WRITE burst, before any broadcast due this cycle.
-	for i := fe.first; i < len(fe.state); i++ {
+	// STAGE_WRITE burst, before any broadcast due this cycle. Tenures
+	// only exist on issued commands, so the scan stops at issuedHi.
+	for i := fe.first; i < fe.issuedHi; i++ {
 		st := &fe.state[i]
 		c := &fe.cmds[i]
 		for ch := range st.ch {
@@ -688,7 +784,7 @@ func (fe *frontEnd) Step(now uint64) error {
 						}
 					}
 					bc.ObserveCommand(c.Op, c.V, st.txn)
-					fe.group.Wake(fe.gidx[ch][b], now)
+					fe.groups[ch].Wake(fe.gidx[ch][b], now)
 				}
 				cs.broadcastDone = true
 				fe.progress(now)
@@ -710,8 +806,9 @@ func (fe *frontEnd) Step(now uint64) error {
 
 	// Observe transaction-complete lines and finished STAGE_READ bursts,
 	// per channel; a command retires when every participating channel is
-	// done.
-	for i := fe.first; i < len(fe.state); i++ {
+	// done. Only issued commands can retire, so the scan stops at
+	// issuedHi.
+	for i := fe.first; i < fe.issuedHi; i++ {
 		st := &fe.state[i]
 		c := &fe.cmds[i]
 		if !st.issued || st.completed {
@@ -789,8 +886,9 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 		return nil
 	}
 	// Priority 1: drain a gathered read — it frees a transaction and
-	// unblocks dependents.
-	for i := fe.first; i < len(fe.state); i++ {
+	// unblocks dependents. Gathered reads are issued, so the scan stops
+	// at issuedHi.
+	for i := fe.first; i < fe.issuedHi; i++ {
 		st := &fe.state[i]
 		if fe.cmds[i].Op != memsys.Read || st.completed {
 			continue
@@ -853,6 +951,9 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 			st.txn = txn
 			st.issued = true
 			st.issuedAt = now
+			if i+1 > fe.issuedHi {
+				fe.issuedHi = i + 1
+			}
 			fe.issuedLive++
 			fe.progress(now)
 			if c.Op == memsys.Write {
@@ -1001,6 +1102,21 @@ func (fe *frontEnd) runFallback(i int, st *cmdState, ch int) {
 func (fe *frontEnd) observe(e trace.Event) {
 	if fe.cfg.Observer != nil {
 		fe.cfg.Observer(e)
+	}
+}
+
+// flushObs drains the per-channel bank-controller event buffers to the
+// configured sink in channel order. Within a channel the buffer holds
+// events in emission (bank, then device) order, so the concatenation
+// across channels is byte-for-byte the stream the serial loop emits.
+// Called at the start of every driver step and after every session
+// pump; a no-op when buffering is off.
+func (fe *frontEnd) flushObs() {
+	for _, o := range fe.obsBuf {
+		for _, e := range o.events {
+			fe.cfg.Observer(e)
+		}
+		o.events = o.events[:0]
 	}
 }
 

@@ -1,0 +1,480 @@
+// Equivalence suite for the parallel per-channel engine: the
+// ParallelChannels configuration must be bit-identical to the serial
+// engine — cycle counts, statistics, per-channel statistics, gathered
+// data, per-ticket issue/retire timestamps, and the emitted trace-event
+// stream — under any GOMAXPROCS and any scheduler interleaving. The
+// copy-on-write Snapshot/Clone machinery rides the same suite: clones
+// must replay the seed golden bit-identically and never alias pooled
+// buffers with their source.
+package pva
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pva/internal/memsys"
+	"pva/internal/pvaunit"
+	"pva/internal/trace"
+)
+
+// parallelPair builds the same multi-channel PVA configuration twice:
+// once on the serial engine, once with per-channel parallel ticking.
+func parallelPair(t testing.TB, channels uint32, plan FaultPlan) (serial, parallel *pvaunit.System) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Channels = channels
+	cfg.FaultPlan = plan
+	icfg, err := cfg.toInternal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err = pvaunit.New(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ParallelChannels = true
+	pcfg, err := cfg.toInternal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err = pvaunit.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// runSession replays a trace through a streaming Session and returns the
+// result plus every ticket's final progress record, so the comparison
+// covers per-command issue and retire timestamps, not just totals.
+func runSession(sys *pvaunit.System, tr Trace) (memsys.Result, []pvaunit.TicketInfo, error) {
+	ses, err := sys.Open()
+	if err != nil {
+		return memsys.Result{}, nil, err
+	}
+	tickets := make([]pvaunit.Ticket, len(tr.Cmds))
+	for i, c := range tr.Cmds {
+		tk, err := ses.Issue(c)
+		if err != nil {
+			return memsys.Result{}, nil, err
+		}
+		tickets[i] = tk
+	}
+	if err := ses.Drain(); err != nil {
+		return memsys.Result{}, nil, err
+	}
+	res, err := ses.Result()
+	if err != nil {
+		return memsys.Result{}, nil, err
+	}
+	infos := make([]pvaunit.TicketInfo, len(tickets))
+	for i, tk := range tickets {
+		info, err := ses.Poll(tk)
+		if err != nil {
+			return memsys.Result{}, nil, err
+		}
+		infos[i] = info
+	}
+	return res, infos, nil
+}
+
+// requireIdentical compares every observable of a serial and a parallel
+// run of the same trace.
+func requireIdentical(t *testing.T, label string, serial, parallel *pvaunit.System, tr Trace) {
+	t.Helper()
+	want, wantInfo, errS := runSession(serial, tr)
+	got, gotInfo, errP := runSession(parallel, tr)
+	if (errS == nil) != (errP == nil) {
+		t.Fatalf("%s: serial err = %v, parallel err = %v", label, errS, errP)
+	}
+	if errS != nil {
+		if errS.Error() != errP.Error() {
+			t.Fatalf("%s: error text diverges:\nserial   %v\nparallel %v", label, errS, errP)
+		}
+		return
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("%s: parallel %d cycles, serial %d", label, got.Cycles, want.Cycles)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats diverge:\nserial   %+v\nparallel %+v", label, want.Stats, got.Stats)
+	}
+	if len(got.ChannelStats) != len(want.ChannelStats) {
+		t.Fatalf("%s: %d channel stats, serial %d", label, len(got.ChannelStats), len(want.ChannelStats))
+	}
+	for ch := range want.ChannelStats {
+		if got.ChannelStats[ch] != want.ChannelStats[ch] {
+			t.Fatalf("%s: channel %d stats diverge:\nserial   %+v\nparallel %+v",
+				label, ch, want.ChannelStats[ch], got.ChannelStats[ch])
+		}
+	}
+	for i := range tr.Cmds {
+		gi, wi := gotInfo[i], wantInfo[i]
+		// Data is compared word-for-word below via ReadData.
+		if gi.Ticket != wi.Ticket || gi.Op != wi.Op ||
+			gi.AcceptedAt != wi.AcceptedAt ||
+			gi.Issued != wi.Issued || gi.IssuedAt != wi.IssuedAt ||
+			gi.Done != wi.Done || gi.CompletedAt != wi.CompletedAt {
+			t.Fatalf("%s: ticket %d timestamps diverge:\nserial   %+v\nparallel %+v",
+				label, i, wi, gi)
+		}
+		for j := range want.ReadData[i] {
+			if got.ReadData[i][j] != want.ReadData[i][j] {
+				t.Fatalf("%s: cmd %d word %d = %#x, serial %#x",
+					label, i, j, got.ReadData[i][j], want.ReadData[i][j])
+			}
+		}
+	}
+}
+
+// TestParallelEngineEquivalenceGrid runs a kernel grid on two- and
+// four-channel systems, serial versus parallel, and requires every
+// observable identical. Always on (small vectors) so plain `go test`
+// exercises the parallel path.
+func TestParallelEngineEquivalenceGrid(t *testing.T) {
+	for _, channels := range []uint32{2, 4} {
+		for _, kn := range []string{"copy", "swap", "vaxpy"} {
+			for _, stride := range []uint32{1, 8, 19} {
+				k, err := KernelByName(kn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := PaperParams(stride, 2)
+				p.Elements = 128
+				serial, parallel := parallelPair(t, channels, FaultPlan{})
+				requireIdentical(t, fmt.Sprintf("ch%d/%s/stride%d", channels, kn, stride),
+					serial, parallel, k.Build(p))
+			}
+		}
+	}
+}
+
+// FuzzParallelEngine drives fuzzed traces and a fuzzed fault plan
+// through serial and parallel four-channel systems and demands
+// bit-identical cycles, statistics, gathered words, and per-ticket
+// timestamps — or the same error. The corpus is the shared differential
+// seed set, so every historical counterexample shape is replayed here.
+func FuzzParallelEngine(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, ok := parseFuzzTrace(data, true)
+		if !ok {
+			t.Skip()
+		}
+		// Derive a deterministic fault plan from the input so the fuzzer
+		// also explores ECC scrub and bus-retry timing under parallel
+		// ticking. The rates stay low enough that runs usually complete;
+		// identical errors are accepted as equivalent outcomes.
+		var seed uint64
+		for _, b := range data {
+			seed = seed*131 + uint64(b)
+		}
+		plans := []FaultPlan{
+			{},
+			{Seed: seed, BitFlipRate: 0.01, DropRate: 0.005},
+		}
+		for pi, plan := range plans {
+			serial, parallel := parallelPair(t, 4, plan)
+			requireIdentical(t, fmt.Sprintf("plan%d", pi), serial, parallel, tr)
+		}
+	})
+}
+
+// traceHash runs one cell on a freshly built system with an attached
+// trace log and returns a digest of the rendered event timeline.
+func traceHash(t *testing.T, parallel bool, tr Trace) [32]byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.ParallelChannels = parallel
+	icfg, err := cfg.toInternal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Log
+	icfg.Observer = log.Record
+	sys, err := pvaunit.New(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	log.Dump(&buf)
+	// Hash the raw emission order too, not just the cycle-sorted dump:
+	// the parallel engine must reproduce the serial event sequence
+	// exactly, including ordering within a cycle.
+	for _, e := range log.Events {
+		fmt.Fprintf(&buf, "%v\n", e)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestParallelDeterminismStress replays one cell 32 times per
+// GOMAXPROCS setting in {1, 2, 8} with per-channel parallel ticking and
+// event tracing armed, and requires every run's trace dump hash — and
+// the serial engine's — to be identical. Any scheduler-dependent
+// reordering of events, stats, or cycles shows up as a hash mismatch.
+func TestParallelDeterminismStress(t *testing.T) {
+	k, err := KernelByName("vaxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams(19, 1)
+	p.Elements = 128
+	tr := k.Build(p)
+
+	want := traceHash(t, false, tr) // serial reference dump
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		iters := 32
+		if testing.Short() {
+			iters = 4
+		}
+		for i := 0; i < iters; i++ {
+			if got := traceHash(t, true, tr); got != want {
+				t.Fatalf("GOMAXPROCS=%d run %d: trace dump hash diverged from serial", procs, i)
+			}
+		}
+	}
+}
+
+// loadSeedGolden reads testdata/seed_cycles.json (the pre-refactor
+// full-sweep cycle counts; see channels_test.go).
+func loadSeedGolden(t *testing.T) []seedPoint {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/seed_cycles.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []seedPoint
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// cloneFns maps each sweep system kind to a constructor producing an
+// independent copy-on-write clone of a shared prototype, exercising
+// pvaunit.System.Clone for the PVA systems and the Snapshot/NewSystem
+// checkpoint path for the serial baselines.
+func cloneFns(t *testing.T) map[string]func() memsys.System {
+	t.Helper()
+	protoFor := func(static bool) *pvaunit.System {
+		cfg := DefaultConfig()
+		icfg, err := cfg.toInternal(static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := pvaunit.New(icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sdram, sram := protoFor(false), protoFor(true)
+	snapshotOf := func(s System) memsys.Checkpoint {
+		sn, ok := s.(memsys.Snapshotter)
+		if !ok {
+			t.Fatalf("%s does not snapshot", s.Name())
+		}
+		return sn.Snapshot()
+	}
+	clSnap := snapshotOf(NewCacheLineSerial())
+	gsSnap := snapshotOf(NewGatheringSerial())
+	fromCheckpoint := func(cp memsys.Checkpoint) func() memsys.System {
+		return func() memsys.System {
+			s, err := cp.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	return map[string]func() memsys.System{
+		"pva-sdram":        func() memsys.System { return sdram.Clone() },
+		"pva-sram":         func() memsys.System { return sram.Clone() },
+		"cacheline-serial": fromCheckpoint(clSnap),
+		"gathering-serial": fromCheckpoint(gsSnap),
+	}
+}
+
+// TestCloneSeedCycleEquivalence replays the full 960-point seed golden,
+// every cell on a fresh Clone() of a shared prototype, and demands the
+// pre-refactor cycle counts bit for bit: cloned systems must be
+// indistinguishable from freshly constructed ones.
+func TestCloneSeedCycleEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1024-element sweep")
+	}
+	want := loadSeedGolden(t)
+	clones := cloneFns(t)
+	for _, w := range want {
+		mk, ok := clones[w.System]
+		if !ok {
+			t.Fatalf("golden row names unknown system %q", w.System)
+		}
+		k, err := KernelByName(w.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mk().Run(k.Build(PaperParams(w.Stride, w.Align)))
+		if err != nil {
+			t.Fatalf("%s stride %d align %d on %s: %v", w.Kernel, w.Stride, w.Align, w.System, err)
+		}
+		if res.Cycles != w.Cycles {
+			t.Errorf("%s stride %d align %d on clone of %s: %d cycles, seed had %d",
+				w.Kernel, w.Stride, w.Align, w.System, res.Cycles, w.Cycles)
+		}
+	}
+}
+
+// TestCloneQuickEquivalence is the -short variant: one representative
+// cell per system kind on a clone versus a fresh system.
+func TestCloneQuickEquivalence(t *testing.T) {
+	clones := cloneFns(t)
+	fresh := map[string]func() memsys.System{
+		"cacheline-serial": func() memsys.System { return NewCacheLineSerial() },
+		"gathering-serial": func() memsys.System { return NewGatheringSerial() },
+	}
+	for _, static := range []bool{false, true} {
+		name := map[bool]string{false: "pva-sdram", true: "pva-sram"}[static]
+		cfg := DefaultConfig()
+		fresh[name] = func() memsys.System {
+			var s System
+			var err error
+			if static {
+				s, err = NewSRAMSystem(cfg)
+			} else {
+				s, err = NewSystem(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	k, err := KernelByName("swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams(19, 3)
+	p.Elements = 128
+	tr := k.Build(p)
+	for name, mk := range clones {
+		want, err := fresh[name]().Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mk().Run(tr)
+		if err != nil {
+			t.Fatalf("clone of %s: %v", name, err)
+		}
+		if got.Cycles != want.Cycles || got.Stats != want.Stats {
+			t.Errorf("clone of %s: (%d cycles, %+v), fresh (%d cycles, %+v)",
+				name, got.Cycles, got.Stats, want.Cycles, want.Stats)
+		}
+	}
+}
+
+// TestCloneNoAliasing is the mutate-after-clone pin: writes through a
+// clone must never surface in its source or in sibling clones, and
+// writes through the source must never surface in clones taken earlier —
+// the copy-on-write store has to fork pages, not share mutable buffers.
+func TestCloneNoAliasing(t *testing.T) {
+	cfg := DefaultConfig()
+	icfg, err := cfg.toInternal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := pvaunit.New(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTrace := func(base uint32, val uint32) Trace {
+		data := make([]uint32, 32)
+		for i := range data {
+			data[i] = val + uint32(i)
+		}
+		return Trace{Cmds: []VectorCmd{{Op: Write, V: Vector{Base: base, Stride: 1, Length: 32}, Data: data}}}
+	}
+	const base = 4096
+	clone1 := src.Clone()
+	if _, err := clone1.Run(writeTrace(base, 0x11110000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Peek(base); got != memsys.Fill(base) {
+		t.Fatalf("clone write leaked into source: source[%d] = %#x", base, got)
+	}
+	clone2 := src.Clone()
+	if got := clone2.Peek(base); got != memsys.Fill(base) {
+		t.Fatalf("clone write leaked into sibling clone: clone2[%d] = %#x", base, got)
+	}
+	if _, err := src.Run(writeTrace(base, 0x22220000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := clone1.Peek(base); got != 0x11110000 {
+		t.Fatalf("source write leaked into clone1: clone1[%d] = %#x", base, got)
+	}
+	if got := clone2.Peek(base); got != memsys.Fill(base) {
+		t.Fatalf("source write leaked into clone2: clone2[%d] = %#x", base, got)
+	}
+	// A clone taken after the source mutated sees the mutated image.
+	clone3 := src.Clone()
+	if got := clone3.Peek(base); got != 0x22220000 {
+		t.Fatalf("late clone missed source write: clone3[%d] = %#x", base, got)
+	}
+}
+
+// TestPublicSnapshotterSurface: the re-exported Snapshotter/Checkpoint
+// aliases make checkpoint/clone reachable from the public API — all
+// four constructed systems implement it, and a public-surface clone
+// replays a run bit-identically to its source.
+func TestPublicSnapshotterSurface(t *testing.T) {
+	mk := map[string]func() (System, error){
+		"pva-sdram":        func() (System, error) { return NewSystem(DefaultConfig()) },
+		"pva-sram":         func() (System, error) { return NewSRAMSystem(DefaultConfig()) },
+		"cacheline-serial": func() (System, error) { return NewCacheLineSerial(), nil },
+		"gathering-serial": func() (System, error) { return NewGatheringSerial(), nil },
+	}
+	k, err := KernelByName("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams(19, 2)
+	p.Elements = 128
+	tr := k.Build(p)
+	for name, f := range mk {
+		src, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, ok := src.(Snapshotter)
+		if !ok {
+			t.Fatalf("%s does not implement pva.Snapshotter", name)
+		}
+		var cp Checkpoint = sn.Snapshot()
+		clone, err := cp.NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := src.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := clone.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != want.Cycles || got.Stats != want.Stats {
+			t.Fatalf("%s: clone diverged: cycles %d vs %d", name, got.Cycles, want.Cycles)
+		}
+	}
+}

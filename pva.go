@@ -57,6 +57,17 @@ type (
 	Stats = memsys.Stats
 	// System is the interface all four memory systems implement.
 	System = memsys.System
+	// Snapshotter is implemented by Systems supporting cheap
+	// copy-on-write checkpoint, clone, and rewind (all four simulated
+	// systems; the functional Reference does not keep checkpoints).
+	// Type-assert a System to reach it:
+	//
+	//	cp := sys.(pva.Snapshotter).Snapshot()
+	//	clone, _ := cp.NewSystem() // independent warm-started copy
+	Snapshotter = memsys.Snapshotter
+	// Checkpoint is the opaque immutable image Snapshot captures;
+	// NewSystem clones from it, Restore rewinds to it.
+	Checkpoint = memsys.Checkpoint
 	// Op distinguishes reads from writes.
 	Op = memsys.Op
 )
@@ -139,6 +150,16 @@ type Config struct {
 	// ErrDeadlock, with a diagnostic dump, instead of spinning until the
 	// MaxCycles backstop. 0 disables the watchdog.
 	WatchdogCycles uint64
+
+	// ParallelChannels ticks each memory channel's hardware (bus, bank
+	// controllers, devices) on its own worker of a shared pool, with a
+	// deterministic barrier per simulated cycle. Results — cycle counts,
+	// stats, per-ticket timestamps, trace events — are bit-identical to
+	// the serial engine; only wall-clock time changes. The engine falls
+	// back to serial ticking automatically when the configuration has a
+	// single channel or shares mutable state across channels (the
+	// "hotrow" row policy trains one predictor in global tick order).
+	ParallelChannels bool
 }
 
 // DefaultConfig returns the paper's prototype parameters.
@@ -244,6 +265,7 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 		DisableIdleSkip: c.DisableIdleSkip,
 		Fault:           c.FaultPlan,
 		WatchdogCycles:  c.WatchdogCycles,
+		Parallel:        c.ParallelChannels,
 	}
 	switch c.Policy {
 	case "", "paper":
