@@ -6,6 +6,7 @@
 //	pvasim -kernel copy -stride 19 -align 0 -system pva-sdram
 //	pvasim -kernel vaxpy -stride 16 -elements 256 -system all
 //	pvasim -kernel copy -channels 4 -addrmap xor -json
+//	pvasim -kernel vaxpy -stride 19 -system pva-sdram -tech salp -subarrays 4
 package main
 
 import (
@@ -30,6 +31,10 @@ func main() {
 		channels = flag.Uint("channels", 1, "memory channels (power of two)")
 		addrmap  = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		jsonOut  = flag.Bool("json", false, "emit measured points as JSON instead of the table")
+
+		tech       = flag.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
+		subarrays  = flag.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
+		partitions = flag.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
 
 		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
 		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
@@ -71,6 +76,9 @@ func main() {
 		Fault:            plan,
 		Watchdog:         *watchdog,
 		ParallelChannels: *parChan,
+		Tech:             *tech,
+		Subarrays:        uint32(*subarrays),
+		Partitions:       uint32(*partitions),
 	}
 
 	points := make([]pva.SweepPoint, 0, len(run))
@@ -95,7 +103,11 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	faulty := plan.Active()
+	techy := *tech != "" && *tech != "sdram"
 	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds")
+	if techy {
+		fmt.Fprintf(w, "\trow conf\tsub hits\tpart stalls\trd lat\twr lat")
+	}
 	if faulty {
 		fmt.Fprintf(w, "\tecc corr\tecc uncorr\tnacks\tdegraded")
 	}
@@ -107,6 +119,11 @@ func main() {
 			pt.Stats.SDRAMReads, pt.Stats.SDRAMWrites,
 			pt.Stats.Activates, pt.Stats.Precharges, pt.Stats.RowHits,
 			pt.Stats.BusBusyCycles, pt.Stats.TurnaroundCycles)
+		if techy {
+			fmt.Fprintf(w, "\t%d\t%d\t%d\t%d\t%d", pt.Stats.RowConflicts,
+				pt.Stats.SubarrayHits, pt.Stats.PartitionStalls,
+				pt.Stats.ReadLatencyCycles, pt.Stats.WriteLatencyCycles)
+		}
 		if faulty {
 			fmt.Fprintf(w, "\t%d\t%d\t%d\t%d", pt.Stats.CorrectedECC,
 				pt.Stats.UncorrectedECC, pt.Stats.BusNACKs, pt.Stats.DegradedElements)

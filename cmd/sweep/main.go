@@ -11,6 +11,8 @@
 //	sweep -workers 1      # force the serial engine (0: one per CPU)
 //	sweep -json           # raw measured points as JSON
 //	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
+//	sweep -techscaling    # device back-end ladder (SDRAM, SALP, PCM)
+//	sweep -tech salp -subarrays 4  # whole sweep on one back end
 //	sweep -bench-snapshot 5  # write the BENCH_5.json perf-trajectory point
 //	sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -44,6 +46,11 @@ func run() int {
 		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
 		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
 		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
+
+		techScaling = flag.Bool("techscaling", false, "run the technology-scaling experiment across the default back-end ladder")
+		tech        = flag.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
+		subarrays   = flag.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
+		partitions  = flag.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
 
 		benchSnap = flag.Int("bench-snapshot", -1, "run the perf-trajectory benchmarks and write BENCH_<n>.json for this snapshot number (-1: off)")
 
@@ -107,9 +114,25 @@ func run() int {
 		},
 		Watchdog:         *watchdog,
 		ParallelChannels: *parChan,
+		Tech:             *tech,
+		Subarrays:        uint32(*subarrays),
+		Partitions:       uint32(*partitions),
 	}
 
 	start := time.Now()
+	if *techScaling {
+		points, err := pva.TechSweep(names, nil, nil, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		if *jsonOut {
+			return emitJSON(points)
+		}
+		pva.RenderTechScaling(os.Stdout, points)
+		fmt.Printf("%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+		return 0
+	}
 	if *channelsFlag != "" {
 		channels, err := parseChannels(*channelsFlag)
 		if err != nil {

@@ -110,17 +110,28 @@ type SweepOptions struct {
 	// bit-identical results, less wall-clock per point on multi-channel
 	// configurations.
 	ParallelChannels bool
+	// Tech selects the PVA SDRAM system's device back end ("sdram",
+	// "salp", "pcm"; empty: sdram). The serial baselines and the PVA
+	// SRAM system ignore it.
+	Tech string
+	// Subarrays sets subarrays per internal bank for Tech="salp".
+	Subarrays uint32
+	// Partitions sets partitions per internal bank for Tech="pcm".
+	Partitions uint32
 }
 
 func (o SweepOptions) runner() harness.Runner {
 	return harness.Runner{
-		Elements: o.Elements,
-		Verify:   o.Verify,
-		Channels: o.Channels,
-		AddrMap:  o.AddrMap,
-		Fault:    o.Fault,
-		Watchdog: o.Watchdog,
-		Parallel: o.ParallelChannels,
+		Elements:   o.Elements,
+		Verify:     o.Verify,
+		Channels:   o.Channels,
+		AddrMap:    o.AddrMap,
+		Fault:      o.Fault,
+		Watchdog:   o.Watchdog,
+		Parallel:   o.ParallelChannels,
+		Tech:       o.Tech,
+		Subarrays:  o.Subarrays,
+		Partitions: o.Partitions,
 	}
 }
 
@@ -152,6 +163,30 @@ func ChannelSweep(kernelNames []string, strides []uint32, channels []uint32, sys
 // ChannelSweep's points.
 func RenderChannelScaling(w io.Writer, points []ChannelPoint) {
 	harness.RenderChannelScaling(w, points)
+}
+
+// TechConfig names one device back end for the technology-scaling
+// experiment ("sdram"; "salp" with Subarrays; "pcm" with Partitions).
+type TechConfig = harness.TechConfig
+
+// TechPoint is one cell of the technology-scaling experiment: the PVA
+// system's minimum-over-alignments time on one back end, its conflict
+// counters at that cell, and its speedups over the serial baselines.
+type TechPoint = harness.TechPoint
+
+// TechSweep runs the technology-scaling experiment: every selected
+// kernel and stride on each device back end. configs nil means
+// SDRAM, SALP at 2/4/8 subarrays, and 4-partition PCM; o's own
+// Tech/Subarrays/Partitions are ignored — the config list drives the
+// experiment.
+func TechSweep(kernelNames []string, strides []uint32, configs []TechConfig, o SweepOptions) ([]TechPoint, error) {
+	return o.runner().TechScaling(kernelNames, strides, configs, o.Workers)
+}
+
+// RenderTechScaling writes the technology-scaling table for a
+// TechSweep's points.
+func RenderTechScaling(w io.Writer, points []TechPoint) {
+	harness.RenderTechScaling(w, points)
 }
 
 // Figures writes the text form of every evaluation figure (7-11) plus

@@ -121,8 +121,9 @@ func checkAgainstReference(t *testing.T, sys System, tr Trace) {
 	}
 }
 
-// FuzzDifferentialPVA checks both PVA systems against the reference on
-// random traces.
+// FuzzDifferentialPVA checks the PVA systems against the reference on
+// random traces, across every device back end: plain SDRAM, the SRAM
+// comparison system, 4-subarray SALP, and 4-partition PCM.
 func FuzzDifferentialPVA(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -138,8 +139,24 @@ func FuzzDifferentialPVA(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		salpCfg := DefaultConfig()
+		salpCfg.Tech = "salp"
+		salpCfg.SubarraysPerBank = 4
+		salpSys, err := NewSystem(salpCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcmCfg := DefaultConfig()
+		pcmCfg.Tech = "pcm"
+		pcmCfg.Partitions = 4
+		pcmSys, err := NewSystem(pcmCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		checkAgainstReference(t, sdramSys, tr)
 		checkAgainstReference(t, sramSys, tr)
+		checkAgainstReference(t, salpSys, tr)
+		checkAgainstReference(t, pcmSys, tr)
 	})
 }
 

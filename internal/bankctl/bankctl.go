@@ -33,6 +33,7 @@ import (
 	"pva/internal/addr"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/dramtech"
 	"pva/internal/engine"
 	"pva/internal/fault"
 	"pva/internal/memsys"
@@ -61,6 +62,7 @@ type Config struct {
 	View      AddrView       // non-nil: decode via this view instead of word interleave
 	SGeom     addr.SDRAMGeom // device geometry
 	Timing    sdram.Timing   // device timing
+	Tech      dramtech.Spec  // device back end (zero value: plain SDRAM)
 	Static    bool           // idealized SRAM device (PVA SRAM system)
 	VCWindow  int            // number of Vector Contexts (prototype: 4)
 	RFEntries int            // Register File entries (prototype: 8)
@@ -150,7 +152,7 @@ func New(cfg Config, store *memsys.Store, board *bus.Board) *BC {
 	if cfg.Static {
 		dev = sdram.NewStatic(cfg.SGeom, store, cfg.Bank, cfg.Banks)
 	} else {
-		dev = sdram.New(cfg.SGeom, cfg.Timing, store, cfg.Bank, cfg.Banks)
+		dev = sdram.NewTech(cfg.SGeom, cfg.Timing, cfg.Tech, store, cfg.Bank, cfg.Banks)
 	}
 	if cfg.View != nil {
 		dev.SetCompose(cfg.View.Compose)
@@ -365,12 +367,15 @@ func (bc *BC) stepRefresh() (bool, error) {
 	}
 	allIdle := true
 	for ib := uint32(0); ib < bc.cfg.SGeom.InternalBanks; ib++ {
-		if _, open := bc.dev.OpenRow(ib); !open {
+		row, ready, open := bc.dev.RefreshPrechargeTarget(ib, bc.cycle)
+		if !open {
 			continue
 		}
 		allIdle = false
-		if bc.cycle >= bc.dev.BankReadyAt(ib) {
-			return true, bc.dev.Issue(sdram.Request{Cmd: sdram.Precharge, IBank: ib})
+		if ready {
+			// The precharge names the row it is closing, so the device
+			// never mistakes a refresh precharge for a row conflict.
+			return true, bc.dev.Issue(sdram.Request{Cmd: sdram.Precharge, IBank: ib, Row: row})
 		}
 	}
 	if !allIdle {

@@ -29,6 +29,10 @@ const (
 	// SRAM is the uniform-access reference: one word per cycle, no row
 	// overhead at all.
 	SRAM
+	// PCM is phase-change memory: non-volatile (no refresh), slower row
+	// opens, and strongly asymmetric writes — cell programming occupies
+	// the partition long after the data transfer (Song et al.'s PALP).
+	PCM
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +48,8 @@ func (k Kind) String() string {
 		return "ddr"
 	case SRAM:
 		return "sram"
+	case PCM:
+		return "pcm"
 	default:
 		return fmt.Sprintf("tech(%d)", int(k))
 	}
@@ -63,29 +69,53 @@ type Tech struct {
 	PerWordNum, PerWordDen uint64
 	// Precharge is the row-close cost paid before the next row open.
 	Precharge uint64
+	// WriteBusy is the extra cycles a write occupies its unit beyond the
+	// data transfer — zero for every DRAM, large for PCM, whose cell
+	// programming dominates write cost.
+	WriteBusy uint64
 }
 
-// All returns the modeled technologies with timings normalized to the
-// evaluation's 100 MHz controller clock (SDRAM matches the paper's
-// 2/2/2 prototype device exactly).
+// presets is the single source of truth for technology timings,
+// normalized to the evaluation's 100 MHz controller clock (SDRAM
+// matches the paper's 2/2/2 prototype device exactly). Both the
+// Chapter-2 comparison tables and the executable device back ends
+// (internal/sdram's PaperTiming/SRAMTiming/PCMTiming and the PCM
+// write occupancy in SpecFor) derive from this table, so the
+// background numbers cannot drift from the simulated model.
+var presets = [...]Tech{
+	{Kind: FPM, RowOpen: 2, FirstWord: 3, PerWordNum: 3, PerWordDen: 1, Precharge: 3},
+	{Kind: EDO, RowOpen: 2, FirstWord: 3, PerWordNum: 2, PerWordDen: 1, Precharge: 3},
+	{Kind: SDRAM, RowOpen: 2, FirstWord: 2, PerWordNum: 1, PerWordDen: 1, Precharge: 2},
+	{Kind: DDR, RowOpen: 2, FirstWord: 2, PerWordNum: 1, PerWordDen: 2, Precharge: 2},
+	{Kind: SRAM, RowOpen: 0, FirstWord: 1, PerWordNum: 1, PerWordDen: 1, Precharge: 0},
+	{Kind: PCM, RowOpen: 4, FirstWord: 2, PerWordNum: 1, PerWordDen: 1, Precharge: 1, WriteBusy: 8},
+}
+
+// All returns the modeled technologies.
 func All() []Tech {
-	return []Tech{
-		{Kind: FPM, RowOpen: 2, FirstWord: 3, PerWordNum: 3, PerWordDen: 1, Precharge: 3},
-		{Kind: EDO, RowOpen: 2, FirstWord: 3, PerWordNum: 2, PerWordDen: 1, Precharge: 3},
-		{Kind: SDRAM, RowOpen: 2, FirstWord: 2, PerWordNum: 1, PerWordDen: 1, Precharge: 2},
-		{Kind: DDR, RowOpen: 2, FirstWord: 2, PerWordNum: 1, PerWordDen: 2, Precharge: 2},
-		{Kind: SRAM, RowOpen: 0, FirstWord: 1, PerWordNum: 1, PerWordDen: 1, Precharge: 0},
-	}
+	out := make([]Tech, len(presets))
+	copy(out, presets[:])
+	return out
 }
 
 // ByKind returns the preset for one technology.
 func ByKind(k Kind) (Tech, error) {
-	for _, t := range All() {
+	for _, t := range presets {
 		if t.Kind == k {
 			return t, nil
 		}
 	}
 	return Tech{}, fmt.Errorf("dramtech: unknown kind %d", int(k))
+}
+
+// MustByKind is ByKind for the compile-time-known kinds the device
+// layer derives its timings from.
+func MustByKind(k Kind) Tech {
+	t, err := ByKind(k)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // LineFill returns the cycles to read n consecutive words from one

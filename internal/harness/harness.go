@@ -115,6 +115,14 @@ type Runner struct {
 	// the serial engine; it only changes wall-clock time, and only for
 	// multi-channel configurations.
 	Parallel bool
+	// Tech selects the PVA SDRAM system's device back end ("sdram",
+	// "salp", "pcm"; empty: sdram). The serial baselines and the SRAM
+	// system ignore it.
+	Tech string
+	// Subarrays sets subarrays per internal bank for Tech="salp".
+	Subarrays uint32
+	// Partitions sets partitions per internal bank for Tech="pcm".
+	Partitions uint32
 }
 
 // channels normalizes the channel count (0 means 1).
@@ -131,7 +139,8 @@ func (r Runner) channels() uint32 {
 // to the paper configuration by code identity rather than by argument.
 func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 	if r.channels() <= 1 && (r.AddrMap == "" || r.AddrMap == "word") &&
-		!r.Fault.Active() && r.Watchdog == 0 && !r.Parallel {
+		!r.Fault.Active() && r.Watchdog == 0 && !r.Parallel &&
+		(r.Tech == "" || r.Tech == "sdram") && r.Subarrays <= 1 && r.Partitions <= 1 {
 		return NewSystem(k)
 	}
 	switch k {
@@ -139,6 +148,8 @@ func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 		cfg := pvaunit.PaperConfig()
 		if k == PVASRAM {
 			cfg = pvaunit.SRAMConfig()
+		} else if err := pvaunit.ApplyTech(&cfg, r.Tech, r.Subarrays, r.Partitions); err != nil {
+			return nil, err
 		}
 		dec, err := addrmap.New(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
 		if err != nil {

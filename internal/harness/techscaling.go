@@ -1,0 +1,220 @@
+// The technology-scaling experiment: how the PVA's advantage over the
+// serial baselines moves when the device back end changes — plain
+// SDRAM, SALP with 2/4/8 subarrays per internal bank, and a PCM
+// partition model with asymmetric writes. Each cell reruns the
+// alignment sweep for one back end and keeps the minimum time (the
+// paper's normalization), carrying the row-conflict and
+// subarray/partition counters of that best cell so the reduction in
+// conflict work is visible next to the cycle count.
+
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TechConfig names one device back end under sweep.
+type TechConfig struct {
+	Tech       string `json:"tech"`
+	Subarrays  uint32 `json:"subarrays,omitempty"`
+	Partitions uint32 `json:"partitions,omitempty"`
+}
+
+// Label renders the back end for reports: "sdram", "salp-4", "pcm-4p".
+func (tc TechConfig) Label() string {
+	switch {
+	case tc.Tech == "salp":
+		s := tc.Subarrays
+		if s == 0 {
+			s = 1
+		}
+		return fmt.Sprintf("salp-%d", s)
+	case tc.Tech == "pcm":
+		p := tc.Partitions
+		if p == 0 {
+			p = 1
+		}
+		return fmt.Sprintf("pcm-%dp", p)
+	case tc.Tech == "":
+		return "sdram"
+	default:
+		return tc.Tech
+	}
+}
+
+// DefaultTechConfigs is the experiment's standard back-end ladder:
+// the paper's SDRAM, SALP at 2/4/8 subarrays, and 4-partition PCM.
+func DefaultTechConfigs() []TechConfig {
+	return []TechConfig{
+		{Tech: "sdram"},
+		{Tech: "salp", Subarrays: 2},
+		{Tech: "salp", Subarrays: 4},
+		{Tech: "salp", Subarrays: 8},
+		{Tech: "pcm", Partitions: 4},
+	}
+}
+
+// TechPoint is one cell of the technology-scaling experiment: the PVA
+// system on one back end against the serial baselines (which model a
+// fixed SDRAM and do not vary with the back end).
+type TechPoint struct {
+	Kernel string `json:"kernel"`
+	Stride uint32 `json:"stride"`
+	Tech   string `json:"tech"`
+	// Cycles is the PVA system's minimum execution time over the
+	// alignment sweep on this back end.
+	Cycles uint64 `json:"cycles"`
+	// Conflict-work counters of the best-alignment cell.
+	RowConflicts    uint64 `json:"row_conflicts"`
+	SubarrayHits    uint64 `json:"subarray_hits"`
+	PartitionStalls uint64 `json:"partition_stalls"`
+	// Speedups of the PVA on this back end over the serial systems
+	// (their own min-over-alignments times).
+	VsCacheLine float64 `json:"vs_cache_line"`
+	VsGathering float64 `json:"vs_gathering"`
+}
+
+// TechScaling measures every (kernel, stride) pattern on each back end
+// and reports min-over-alignments times with speedups over the serial
+// baselines. kernelNames/strides default as in Sweep; configs nil means
+// DefaultTechConfigs. The runner's own Tech/Subarrays/Partitions fields
+// are overridden per measurement.
+func (r Runner) TechScaling(kernelNames []string, strides []uint32, configs []TechConfig, workers int) ([]TechPoint, error) {
+	if configs == nil {
+		configs = DefaultTechConfigs()
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("harness: empty tech-config list")
+	}
+
+	// The serial baselines ignore the back end; measure them once.
+	basePts, err := r.ParallelSweep(kernelNames, strides, []SystemKind{CacheLineSerial, GatheringSerial}, workers)
+	if err != nil {
+		return nil, err
+	}
+	base := Collate(basePts)
+
+	var out []TechPoint
+	for _, tc := range configs {
+		rc := r
+		rc.Tech = tc.Tech
+		rc.Subarrays = tc.Subarrays
+		rc.Partitions = tc.Partitions
+		points, err := rc.ParallelSweep(kernelNames, strides, []SystemKind{PVASDRAM}, workers)
+		if err != nil {
+			return nil, fmt.Errorf("harness: tech %s: %w", tc.Label(), err)
+		}
+		// Min-over-alignments, keeping the winning cell's counters.
+		best := make(map[Key]Point)
+		for _, p := range points {
+			k := Key{Kernel: p.Kernel, Stride: p.Stride, System: p.System}
+			if b, ok := best[k]; !ok || p.Cycles < b.Cycles {
+				best[k] = p
+			}
+		}
+		keys := make([]Key, 0, len(best))
+		for k := range best {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Kernel != b.Kernel {
+				return a.Kernel < b.Kernel
+			}
+			return a.Stride < b.Stride
+		})
+		for _, k := range keys {
+			p := best[k]
+			tp := TechPoint{
+				Kernel:          k.Kernel,
+				Stride:          k.Stride,
+				Tech:            tc.Label(),
+				Cycles:          p.Cycles,
+				RowConflicts:    p.Stats.RowConflicts,
+				SubarrayHits:    p.Stats.SubarrayHits,
+				PartitionStalls: p.Stats.PartitionStalls,
+			}
+			if cl := base[Key{Kernel: k.Kernel, Stride: k.Stride, System: CacheLineSerial}].Min; cl != 0 && p.Cycles != 0 {
+				tp.VsCacheLine = float64(cl) / float64(p.Cycles)
+			}
+			if gs := base[Key{Kernel: k.Kernel, Stride: k.Stride, System: GatheringSerial}].Min; gs != 0 && p.Cycles != 0 {
+				tp.VsGathering = float64(gs) / float64(p.Cycles)
+			}
+			out = append(out, tp)
+		}
+	}
+	return out, nil
+}
+
+// RenderTechScaling writes the technology-scaling table: one row per
+// (kernel, stride) pattern, one column per back end, each cell the
+// min-over-alignments cycles with the speedup over the cache-line
+// serial baseline in parentheses, followed by a conflict-work summary
+// per back end.
+func RenderTechScaling(w io.Writer, points []TechPoint) {
+	if len(points) == 0 {
+		return
+	}
+	var techs []string
+	seenTech := map[string]bool{}
+	for _, p := range points {
+		if !seenTech[p.Tech] {
+			seenTech[p.Tech] = true
+			techs = append(techs, p.Tech)
+		}
+	}
+	type rowKey struct {
+		kernel string
+		stride uint32
+	}
+	cells := make(map[rowKey]map[string]TechPoint)
+	var rows []rowKey
+	for _, p := range points {
+		k := rowKey{p.Kernel, p.Stride}
+		if cells[k] == nil {
+			cells[k] = make(map[string]TechPoint)
+			rows = append(rows, k)
+		}
+		cells[k][p.Tech] = p
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].kernel != rows[j].kernel {
+			return rows[i].kernel < rows[j].kernel
+		}
+		return rows[i].stride < rows[j].stride
+	})
+	fmt.Fprintln(w, "technology scaling — PVA min-over-alignments cycles (speedup vs cache-line serial)")
+	fmt.Fprintf(w, "%10s %8s", "kernel", "stride")
+	for _, t := range techs {
+		fmt.Fprintf(w, " %18s", t)
+	}
+	fmt.Fprintln(w)
+	for _, k := range rows {
+		fmt.Fprintf(w, "%10s %8d", k.kernel, k.stride)
+		for _, t := range techs {
+			p, ok := cells[k][t]
+			if !ok {
+				fmt.Fprintf(w, " %18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %18s", fmt.Sprintf("%d (%.2fx)", p.Cycles, p.VsCacheLine))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "conflict work — row conflicts / subarray hits / partition stalls (sum over patterns)")
+	for _, t := range techs {
+		var rc, sh, ps uint64
+		for _, k := range rows {
+			if p, ok := cells[k][t]; ok {
+				rc += p.RowConflicts
+				sh += p.SubarrayHits
+				ps += p.PartitionStalls
+			}
+		}
+		fmt.Fprintf(w, "%18s %12d %12d %12d\n", t, rc, sh, ps)
+	}
+	fmt.Fprintln(w)
+}

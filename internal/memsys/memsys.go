@@ -124,6 +124,16 @@ type Stats struct {
 	RowHits          uint64 `json:"row_hits"`          // reads/writes that hit an already-open row
 	LineFills        uint64 `json:"line_fills"`        // whole cache-line fills (cache-line serial system)
 
+	// Technology-model counters (zero on the plain SDRAM back end).
+	SubarrayHits    uint64 `json:"subarray_hits"`    // accesses overlapping another open subarray/partition in the same bank
+	RowConflicts    uint64 `json:"row_conflicts"`    // precharges forced by a conflicting row
+	PartitionStalls uint64 `json:"partition_stalls"` // scheduler cycles stalled on PCM write occupancy
+
+	// Latency split: total read command-to-data cycles and total write
+	// occupancy cycles, exposing asymmetric-technology (PCM) write cost.
+	ReadLatencyCycles  uint64 `json:"read_latency_cycles"`
+	WriteLatencyCycles uint64 `json:"write_latency_cycles"`
+
 	// Fault-injection counters (all zero when the run's fault.Plan is
 	// the zero value).
 	CorrectedECC     uint64 `json:"corrected_ecc"`     // single-bit read errors corrected by SEC-DED
@@ -148,6 +158,11 @@ func (s *Stats) Merge(o Stats) {
 	s.Precharges += o.Precharges
 	s.RowHits += o.RowHits
 	s.LineFills += o.LineFills
+	s.SubarrayHits += o.SubarrayHits
+	s.RowConflicts += o.RowConflicts
+	s.PartitionStalls += o.PartitionStalls
+	s.ReadLatencyCycles += o.ReadLatencyCycles
+	s.WriteLatencyCycles += o.WriteLatencyCycles
 	s.CorrectedECC += o.CorrectedECC
 	s.UncorrectedECC += o.UncorrectedECC
 	s.ECCRetries += o.ECCRetries

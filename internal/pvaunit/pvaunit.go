@@ -51,6 +51,7 @@ import (
 	"pva/internal/bankctl"
 	"pva/internal/bus"
 	"pva/internal/core"
+	"pva/internal/dramtech"
 	"pva/internal/engine"
 	"pva/internal/fault"
 	"pva/internal/memsys"
@@ -65,6 +66,7 @@ type Config struct {
 	LineWords uint32         // words per cache line / max vector length (32)
 	SGeom     addr.SDRAMGeom // per-bank device geometry
 	Timing    sdram.Timing   // device timing
+	Tech      dramtech.Spec  // device back end (zero value: plain SDRAM)
 	Static    bool           // true: the idealized PVA-SRAM variant
 	VCWindow  int            // vector contexts per bank controller (4)
 	RFEntries int            // register-file entries per controller (8)
@@ -134,6 +136,24 @@ func SRAMConfig() Config {
 	c := PaperConfig()
 	c.Static = true
 	return c
+}
+
+// ApplyTech resolves a user-facing technology selection onto cfg: the
+// executable Spec, and for PCM the preset core timing (slower row open,
+// cheap precharge, refresh off — the cells are non-volatile), which
+// replaces cfg.Timing wholesale. tech "" or "sdram" with <=1 subarrays
+// and partitions leaves cfg untouched, so the zero-value selection is
+// provably the paper's device.
+func ApplyTech(cfg *Config, tech string, subarrays, partitions uint32) error {
+	spec, err := dramtech.SpecFor(tech, subarrays, partitions)
+	if err != nil {
+		return err
+	}
+	cfg.Tech = spec
+	if spec.Backend == dramtech.BackendPCM {
+		cfg.Timing = sdram.PCMTiming()
+	}
+	return nil
 }
 
 // System is a PVA memory system.

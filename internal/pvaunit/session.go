@@ -198,6 +198,7 @@ func (s *System) Open() (*Session, error) {
 			bcfg := bankctl.Config{
 				SGeom:     s.cfg.SGeom,
 				Timing:    s.cfg.Timing,
+				Tech:      s.cfg.Tech,
 				Static:    s.cfg.Static,
 				VCWindow:  s.cfg.VCWindow,
 				RFEntries: s.cfg.RFEntries,
@@ -482,13 +483,18 @@ func (s *Session) info(t Ticket) TicketInfo {
 // shape so Stats.Merge can fold them.
 func deviceStats(ds sdram.Stats) memsys.Stats {
 	return memsys.Stats{
-		SDRAMReads:     ds.Reads,
-		SDRAMWrites:    ds.Writes,
-		Activates:      ds.Activates,
-		Precharges:     ds.Precharges,
-		RowHits:        ds.RowHits,
-		CorrectedECC:   ds.CorrectedECC,
-		UncorrectedECC: ds.UncorrectedECC,
-		ECCRetries:     ds.ECCRetries,
+		SDRAMReads:         ds.Reads,
+		SDRAMWrites:        ds.Writes,
+		Activates:          ds.Activates,
+		Precharges:         ds.Precharges,
+		RowHits:            ds.RowHits,
+		SubarrayHits:       ds.SubarrayHits,
+		RowConflicts:       ds.RowConflicts,
+		PartitionStalls:    ds.PartitionStalls,
+		ReadLatencyCycles:  ds.ReadLatencyCycles,
+		WriteLatencyCycles: ds.WriteLatencyCycles,
+		CorrectedECC:       ds.CorrectedECC,
+		UncorrectedECC:     ds.UncorrectedECC,
+		ECCRetries:         ds.ECCRetries,
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"pva/internal/addr"
+	"pva/internal/dramtech"
 	"pva/internal/fault"
 	"pva/internal/memsys"
 )
@@ -46,14 +47,31 @@ type Timing struct {
 const MaxPostponedRefreshes = 8
 
 // PaperTiming is the prototype's timing: RAS and CAS latencies of two
-// cycles, precharge of two cycles.
-func PaperTiming() Timing { return Timing{TRCD: 2, CL: 2, TRP: 2} }
+// cycles, precharge of two cycles. Derived from the dramtech SDRAM
+// preset so the Chapter-2 table and the executable device cannot drift.
+func PaperTiming() Timing {
+	t := dramtech.MustByKind(dramtech.SDRAM)
+	return Timing{TRCD: t.RowOpen, CL: t.FirstWord, TRP: t.Precharge}
+}
 
 // SRAMTiming models the idealized SRAM comparison device of Section 6.1:
 // "this system incurs no precharge or RAS latencies: all memory accesses
 // take a single cycle." Use NewStatic to build such a device; it rejects
 // row commands and accepts column accesses unconditionally.
-func SRAMTiming() Timing { return Timing{TRCD: 0, CL: 1, TRP: 0} }
+func SRAMTiming() Timing {
+	t := dramtech.MustByKind(dramtech.SRAM)
+	return Timing{TRCD: t.RowOpen, CL: t.FirstWord, TRP: t.Precharge}
+}
+
+// PCMTiming is the phase-change back end's core timing from the
+// dramtech PCM preset: slower row opens, cheap precharge (the row
+// buffer is just a latch), and no refresh obligation — PCM cells are
+// non-volatile. The write-side asymmetry lives in Spec.WriteBusy, not
+// here, because it occupies only the written partition.
+func PCMTiming() Timing {
+	t := dramtech.MustByKind(dramtech.PCM)
+	return Timing{TRCD: t.RowOpen, CL: t.FirstWord, TRP: t.Precharge}
+}
 
 // Cmd is an SDRAM command.
 type Cmd uint8
@@ -115,20 +133,6 @@ type ReadResult struct {
 	Err  error
 }
 
-// bankState is the internal-bank state machine.
-type bankState uint8
-
-const (
-	idle   bankState = iota // precharged
-	active                  // row open
-)
-
-type ibank struct {
-	state   bankState
-	row     uint32
-	readyAt uint64 // cycle at which the current transition completes
-}
-
 // Stats counts device activity.
 type Stats struct {
 	Activates  uint64
@@ -138,17 +142,32 @@ type Stats struct {
 	RowHits    uint64 // reads+writes issued to a row opened by an earlier access
 	Refreshes  uint64
 
+	// Technology-model counters (see dramtech.Counters).
+	SubarrayHits    uint64 // accesses overlapping another open unit in the same bank
+	RowConflicts    uint64 // precharges forced by a conflicting row
+	PartitionStalls uint64 // cycles stalled on PCM write occupancy
+
+	// Latency split: total command-to-data cycles for reads and total
+	// occupancy cycles for writes, exposing the PCM read/write asymmetry
+	// (equal per-op for symmetric technologies).
+	ReadLatencyCycles  uint64
+	WriteLatencyCycles uint64
+
 	// Fault-path counters (zero unless an injector is installed).
 	CorrectedECC   uint64 // single-bit flips corrected by SEC-DED
 	UncorrectedECC uint64 // double-bit flips detected (each triggers a replay or poisons the word)
 	ECCRetries     uint64 // array-read replays after an uncorrectable detection
 }
 
-// Device is one external bank: a 32-bit wide SDRAM with internal banks.
+// Device is one external bank: a 32-bit wide device with internal
+// banks. Row state, timing checks and refresh legality live in the
+// dramtech.Model, so the same device drives plain SDRAM, SALP
+// subarrays, or PCM partitions depending on the Spec it was built with.
 type Device struct {
 	geom   addr.SDRAMGeom
 	timing Timing
-	banks  []ibank
+	spec   dramtech.Spec
+	model  *dramtech.Model
 	store  *memsys.Store
 	base   uint32 // this device's external bank number, for store addressing
 	stride uint32 // external bank count (word interleave step)
@@ -175,10 +194,6 @@ type Device struct {
 	// inj, when non-nil, injects transient read faults; the read path
 	// then runs every array read through the SEC-DED codec.
 	inj *fault.Injector
-
-	// firstAccess tracks whether each bank's open row has already been
-	// accessed, for RowHits accounting.
-	accessed []bool
 }
 
 type pipeEntry struct {
@@ -237,15 +252,23 @@ func (d *Device) pushRead(a uint32, tag uint64) {
 	}
 }
 
-// New returns a device for external bank number bank of an M-bank
-// word-interleaved system, backed by the given store. The device owns
-// word addresses a with a mod M == bank, stored at per-bank index a / M.
+// New returns a plain-SDRAM device for external bank number bank of an
+// M-bank word-interleaved system, backed by the given store. The device
+// owns word addresses a with a mod M == bank, stored at per-bank index
+// a / M.
 func New(geom addr.SDRAMGeom, t Timing, store *memsys.Store, bank, banks uint32) *Device {
+	return NewTech(geom, t, dramtech.Spec{}, store, bank, banks)
+}
+
+// NewTech is New with an explicit technology back end: the zero Spec is
+// plain SDRAM, BackendSALP adds per-subarray row state, BackendPCM adds
+// per-partition row state and write occupancy.
+func NewTech(geom addr.SDRAMGeom, t Timing, spec dramtech.Spec, store *memsys.Store, bank, banks uint32) *Device {
 	return &Device{
 		geom:        geom,
 		timing:      t,
-		banks:       make([]ibank, geom.InternalBanks),
-		accessed:    make([]bool, geom.InternalBanks),
+		spec:        spec,
+		model:       dramtech.NewModel(spec, geom.InternalBanks, t.TRCD, t.TRP, t.TRFC),
 		store:       store,
 		base:        bank,
 		stride:      banks,
@@ -258,10 +281,7 @@ func New(geom addr.SDRAMGeom, t Timing, store *memsys.Store, bank, banks uint32)
 // any backing array. The store, geometry, compose hook, and injector are
 // untouched; cached sessions call this on reuse.
 func (d *Device) Reset() {
-	for i := range d.banks {
-		d.banks[i] = ibank{}
-		d.accessed[i] = false
-	}
+	d.model.Reset()
 	d.cycle = 0
 	d.lastIssue = 0
 	d.issued = false
@@ -299,26 +319,61 @@ func (d *Device) Geom() addr.SDRAMGeom { return d.geom }
 // Timing returns the device timing.
 func (d *Device) Timing() Timing { return d.timing }
 
-// Stats returns a copy of the activity counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a copy of the activity counters, folding in the
+// technology model's own counters.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	c := d.model.Counters()
+	s.SubarrayHits = c.SubarrayHits
+	s.RowConflicts = c.RowConflicts
+	s.PartitionStalls = c.PartitionStalls
+	return s
+}
 
 // Cycle returns the device's current cycle number.
 func (d *Device) Cycle() uint64 { return d.cycle }
 
-// OpenRow reports whether the internal bank has an open row and which.
-func (d *Device) OpenRow(ib uint32) (uint32, bool) {
-	b := &d.banks[ib]
-	if b.state != active {
-		return 0, false
-	}
-	return b.row, true
-}
+// Spec returns the technology specification the device was built with.
+func (d *Device) Spec() dramtech.Spec { return d.spec }
+
+// OpenRow reports whether the internal bank has an open row and which —
+// the lowest-indexed open unit when the technology has several per
+// bank. Unit-aware callers should prefer OpenRowAt.
+func (d *Device) OpenRow(ib uint32) (uint32, bool) { return d.model.FirstOpen(ib) }
+
+// OpenRowAt reports the open row of the unit (subarray/partition) that
+// would serve row in the internal bank. With one unit per bank it is
+// exactly OpenRow.
+func (d *Device) OpenRowAt(ib, row uint32) (uint32, bool) { return d.model.OpenRowAt(ib, row) }
 
 // BankReadyAt returns the cycle at which the internal bank's pending
-// transition completes; the bank accepts row commands (and, when active,
-// column commands) at cycles >= this value. This is what the controller's
+// transitions all complete; the bank accepts device-wide commands
+// (refresh) at cycles >= this value. This is what the controller's
 // restimers track.
-func (d *Device) BankReadyAt(ib uint32) uint64 { return d.banks[ib].readyAt }
+func (d *Device) BankReadyAt(ib uint32) uint64 { return d.model.MaxReadyAt(ib) }
+
+// ReadyAtFor returns the ready cycle of the unit that owns row in the
+// internal bank — the per-subarray/per-partition restimer.
+func (d *Device) ReadyAtFor(ib, row uint32) uint64 { return d.model.ReadyAt(ib, row) }
+
+// UnitIndex flattens (internal bank, row) to a global unit index for
+// per-unit scheduler state; UnitsPerBank sizes such state.
+func (d *Device) UnitIndex(ib, row uint32) uint32 { return d.model.UnitIndex(ib, row) }
+
+// UnitsPerBank returns the row-state units per internal bank (1 for
+// plain SDRAM).
+func (d *Device) UnitsPerBank() uint32 { return d.model.UnitsPerBank() }
+
+// NoteBlocked records a scheduler attempt blocked by the unit owning
+// (ib, row); the model counts PCM write-occupancy stalls from it.
+func (d *Device) NoteBlocked(ib, row uint32, cycle uint64) { d.model.NoteBlocked(ib, row, cycle) }
+
+// RefreshPrechargeTarget scans the internal bank for the refresh path:
+// an open row whose unit can precharge at cycle (ready), any open row
+// at all (open), or neither.
+func (d *Device) RefreshPrechargeTarget(ib uint32, cycle uint64) (row uint32, ready, open bool) {
+	return d.model.PrechargeTarget(ib, cycle)
+}
 
 // SetCompose installs a custom device-word-to-global-address mapping,
 // replacing the default word-interleave formula. nil restores the
@@ -350,7 +405,7 @@ func (d *Device) Issue(r Request) error {
 	if d.issued {
 		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "second command %v in cycle %d", r.Cmd, d.cycle)
 	}
-	if r.IBank >= uint32(len(d.banks)) {
+	if r.IBank >= d.geom.InternalBanks {
 		return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "internal bank %d out of range", r.IBank)
 	}
 	if d.static {
@@ -360,17 +415,13 @@ func (d *Device) Issue(r Request) error {
 		return violation(ViolationRefresh, r.Cmd, r.IBank, d.cycle, "refresh starved at cycle %d (debt %d)", d.cycle, d.refreshDebt)
 	}
 	if r.Cmd == Refresh {
-		for i := range d.banks {
-			if d.banks[i].state != idle {
-				return violation(ViolationRefresh, r.Cmd, uint32(i), d.cycle, "REF with internal bank %d open at cycle %d", i, d.cycle)
+		if ib, ref := d.model.RefreshCheck(d.cycle); ref.Code != dramtech.RefusalNone {
+			if ref.Code == dramtech.RefusalUnitOpen {
+				return violation(ViolationRefresh, r.Cmd, ib, d.cycle, "REF with internal bank %d open at cycle %d", ib, d.cycle)
 			}
-			if d.cycle < d.banks[i].readyAt {
-				return violation(ViolationRefresh, r.Cmd, uint32(i), d.cycle, "REF during precharge of internal bank %d at cycle %d", i, d.cycle)
-			}
+			return violation(ViolationRefresh, r.Cmd, ib, d.cycle, "REF during precharge of internal bank %d at cycle %d", ib, d.cycle)
 		}
-		for i := range d.banks {
-			d.banks[i].readyAt = d.cycle + d.timing.TRFC
-		}
+		d.model.Refresh(d.cycle)
 		if d.refreshDebt > -MaxPostponedRefreshes {
 			d.refreshDebt--
 		}
@@ -379,64 +430,59 @@ func (d *Device) Issue(r Request) error {
 		d.lastIssue = d.cycle
 		return nil
 	}
-	b := &d.banks[r.IBank]
 	switch r.Cmd {
 	case Activate:
-		if b.state != idle {
-			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "ACT to open internal bank %d (row %d open) at cycle %d", r.IBank, b.row, d.cycle)
-		}
-		if d.cycle < b.readyAt {
-			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "ACT to internal bank %d during precharge (tRP) at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
+		if ref := d.model.CanActivate(r.IBank, r.Row, d.cycle); ref.Code != dramtech.RefusalNone {
+			if ref.Code == dramtech.RefusalUnitOpen {
+				return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "ACT to open internal bank %d (row %d open) at cycle %d", r.IBank, ref.Row, d.cycle)
+			}
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "ACT to internal bank %d during precharge (tRP) at cycle %d < %d", r.IBank, d.cycle, ref.ReadyAt)
 		}
 		if r.Row >= d.geom.Rows {
 			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "row %d out of range", r.Row)
 		}
-		b.state = active
-		b.row = r.Row
-		b.readyAt = d.cycle + d.timing.TRCD
-		d.accessed[r.IBank] = false
+		d.model.Activate(r.IBank, r.Row, d.cycle)
 		d.stats.Activates++
 	case Read, Write:
-		if b.state != active {
+		ref := d.model.CanAccess(r.IBank, r.Row, d.cycle)
+		switch ref.Code {
+		case dramtech.RefusalUnitClosed:
 			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "%v to precharged internal bank %d at cycle %d", r.Cmd, r.IBank, d.cycle)
-		}
-		if d.cycle < b.readyAt {
-			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "%v to internal bank %d before tRCD at cycle %d < %d", r.Cmd, r.IBank, d.cycle, b.readyAt)
+		case dramtech.RefusalBusy:
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "%v to internal bank %d before tRCD at cycle %d < %d", r.Cmd, r.IBank, d.cycle, ref.ReadyAt)
 		}
 		if r.Col >= d.geom.RowWords {
 			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "column %d out of range", r.Col)
 		}
-		if r.Row != b.row {
+		if ref.Code == dramtech.RefusalRowMismatch {
 			// The real device would silently access the open row; the
 			// simulator treats a mismatched scheduler intent as a bug.
-			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "%v intends row %d but internal bank %d has row %d open", r.Cmd, r.Row, r.IBank, b.row)
+			return violation(ViolationRange, r.Cmd, r.IBank, d.cycle, "%v intends row %d but internal bank %d has row %d open", r.Cmd, r.Row, r.IBank, ref.Row)
 		}
-		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: b.row, Col: r.Col})
+		a := d.wordAddr(addr.Coord{IBank: r.IBank, Row: r.Row, Col: r.Col})
 		if r.Cmd == Read {
 			d.pushRead(a, r.Tag)
 			d.stats.Reads++
+			d.stats.ReadLatencyCycles += d.timing.CL
 		} else {
 			d.store.Write(a, r.Data)
 			d.stats.Writes++
+			d.stats.WriteLatencyCycles += 1 + d.spec.WriteBusy
 		}
-		if d.accessed[r.IBank] {
+		if d.model.Access(r.IBank, r.Row, r.Cmd == Write, r.Auto, d.cycle) {
 			d.stats.RowHits++
 		}
-		d.accessed[r.IBank] = true
 		if r.Auto {
-			b.state = idle
-			b.readyAt = d.cycle + d.timing.TRP
 			d.stats.Precharges++
 		}
 	case Precharge:
-		if b.state != active {
-			return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "PRE to precharged internal bank %d at cycle %d", r.IBank, d.cycle)
+		if ref := d.model.CanPrecharge(r.IBank, r.Row, d.cycle); ref.Code != dramtech.RefusalNone {
+			if ref.Code == dramtech.RefusalUnitClosed {
+				return violation(ViolationState, r.Cmd, r.IBank, d.cycle, "PRE to precharged internal bank %d at cycle %d", r.IBank, d.cycle)
+			}
+			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "PRE to internal bank %d before tRCD at cycle %d < %d", r.IBank, d.cycle, ref.ReadyAt)
 		}
-		if d.cycle < b.readyAt {
-			return violation(ViolationTiming, r.Cmd, r.IBank, d.cycle, "PRE to internal bank %d before tRCD at cycle %d < %d", r.IBank, d.cycle, b.readyAt)
-		}
-		b.state = idle
-		b.readyAt = d.cycle + d.timing.TRP
+		d.model.Precharge(r.IBank, r.Row, d.cycle)
 		d.stats.Precharges++
 	default:
 		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "unknown command %d", uint8(r.Cmd))
@@ -458,9 +504,11 @@ func (d *Device) issueStatic(r Request) error {
 		if r.Cmd == Read {
 			d.pushRead(a, r.Tag)
 			d.stats.Reads++
+			d.stats.ReadLatencyCycles += d.timing.CL
 		} else {
 			d.store.Write(a, r.Data)
 			d.stats.Writes++
+			d.stats.WriteLatencyCycles++
 		}
 	default:
 		return violation(ViolationProtocol, r.Cmd, r.IBank, d.cycle, "%v illegal on static (SRAM) device", r.Cmd)

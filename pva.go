@@ -33,6 +33,7 @@ import (
 	"pva/internal/bankctl"
 	"pva/internal/baseline"
 	"pva/internal/core"
+	"pva/internal/dramtech"
 	"pva/internal/fault"
 	"pva/internal/hotrow"
 	"pva/internal/memsys"
@@ -126,6 +127,21 @@ type Config struct {
 
 	VCWindow  int // vector contexts per bank controller (4)
 	RFEntries int // register-file entries (8)
+
+	// Tech selects the device back end: "sdram" (default; the paper's
+	// device), "salp" (subarray-level parallelism: per-subarray row state
+	// inside each internal bank, overlapped activates), or "pcm"
+	// (phase-change memory: partition-level parallelism, asymmetric
+	// read/write timing, no refresh). "" means "sdram"; the zero Config
+	// is bit-identical to the paper's prototype.
+	Tech string
+	// SubarraysPerBank sets the subarrays per internal bank for
+	// Tech="salp" (power of two; 0 or 1 degenerate to plain SDRAM row
+	// behavior, cycle-identical to Tech="sdram").
+	SubarraysPerBank uint32
+	// Partitions sets the partitions per internal bank for Tech="pcm"
+	// (power of two; 0 means 1).
+	Partitions uint32
 
 	// Policy selects the Scheduling Policy Unit: "paper" (default),
 	// "fcfs", "edf", "shortest-job".
@@ -230,6 +246,9 @@ func (c Config) Validate() error {
 	if c.LineWords&(c.LineWords-1) != 0 {
 		return fmt.Errorf("pva: LineWords=%d is not a power of two", c.LineWords)
 	}
+	if err := dramtech.ValidateSelection(c.Tech, c.SubarraysPerBank, c.Partitions); err != nil {
+		return fmt.Errorf("pva: %w", err)
+	}
 	if err := c.FaultPlan.Validate(c.Channels, c.Banks); err != nil {
 		return fmt.Errorf("pva: %w", err)
 	}
@@ -266,6 +285,13 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 		Fault:           c.FaultPlan,
 		WatchdogCycles:  c.WatchdogCycles,
 		Parallel:        c.ParallelChannels,
+	}
+	if !static {
+		// The SRAM comparison system has no rows, so the technology
+		// selection applies only to the SDRAM-class variant.
+		if err := pvaunit.ApplyTech(&cfg, c.Tech, c.SubarraysPerBank, c.Partitions); err != nil {
+			return pvaunit.Config{}, fmt.Errorf("pva: %w", err)
+		}
 	}
 	switch c.Policy {
 	case "", "paper":
