@@ -41,6 +41,10 @@ func main() {
 		deadBanks = flag.String("dead-banks", "", "comma-separated hard-faulted bank controllers, flat channel*banks+bank (degraded mode)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
 		parChan   = flag.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
+
+		cellTimeout  = flag.Duration("cell-timeout", 0, "wall-clock deadline per measured point, above the simulated-cycle watchdog (0: none)")
+		retries      = flag.Int("retries", 0, "re-attempts per failing point before giving up (fresh systems each attempt)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "sleep before the first retry, doubled each further attempt")
 	)
 	flag.Parse()
 
@@ -79,6 +83,13 @@ func main() {
 		Tech:             *tech,
 		Subarrays:        uint32(*subarrays),
 		Partitions:       uint32(*partitions),
+		CellTimeout:      *cellTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pvasim: %v\n", err)
+		os.Exit(2)
 	}
 
 	points := make([]pva.SweepPoint, 0, len(run))

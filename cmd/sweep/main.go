@@ -13,14 +13,23 @@
 //	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
 //	sweep -techscaling    # device back-end ladder (SDRAM, SALP, PCM)
 //	sweep -tech salp -subarrays 4  # whole sweep on one back end
+//	sweep -journal dir    # crash-safe sweep: journal results, resume on rerun
+//	sweep -isolate        # quarantine failing cells, finish the rest
+//	sweep -cell-timeout 30s -retries 2 -retry-backoff 100ms
 //	sweep -bench-snapshot 5  # write the BENCH_5.json perf-trajectory point
 //	sweep -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Exit status: 0 on success, 1 on a sweep error, 2 on a usage or
+// configuration error, 3 on partial success (some cells quarantined;
+// the completed grid is still emitted and every failing cell is named
+// on standard error).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,44 +42,54 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kernelsFlag  = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
-		elements     = flag.Uint("elements", 1024, "elements per application vector")
-		verify       = flag.Bool("verify", false, "replay every point against the functional reference")
-		workers      = flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
-		parChan      = flag.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
-		addrmap      = flag.String("addrmap", "word", "address decoder: word, line, xor")
-		channelsFlag = flag.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
-		jsonOut      = flag.Bool("json", false, "emit measured points as JSON instead of the figures")
+		kernelsFlag  = fs.String("kernels", "", "comma-separated kernel subset (default: all)")
+		elements     = fs.Uint("elements", 1024, "elements per application vector")
+		verify       = fs.Bool("verify", false, "replay every point against the functional reference")
+		workers      = fs.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
+		parChan      = fs.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
+		addrmap      = fs.String("addrmap", "word", "address decoder: word, line, xor")
+		channelsFlag = fs.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
+		jsonOut      = fs.Bool("json", false, "emit measured points as JSON instead of the figures")
 
-		techScaling = flag.Bool("techscaling", false, "run the technology-scaling experiment across the default back-end ladder")
-		tech        = flag.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
-		subarrays   = flag.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
-		partitions  = flag.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
+		techScaling = fs.Bool("techscaling", false, "run the technology-scaling experiment across the default back-end ladder")
+		tech        = fs.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
+		subarrays   = fs.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
+		partitions  = fs.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
 
-		benchSnap = flag.Int("bench-snapshot", -1, "run the perf-trajectory benchmarks and write BENCH_<n>.json for this snapshot number (-1: off)")
+		journalDir   = fs.String("journal", "", "crash-safe sweep: append results to <dir>/sweep.journal and resume completed cells on rerun (implies -isolate)")
+		isolate      = fs.Bool("isolate", false, "quarantine failing cells instead of aborting; the rest of the grid completes")
+		cellTimeout  = fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline, above the simulated-cycle watchdog (0: none)")
+		retries      = fs.Int("retries", 0, "re-attempts per failing cell before quarantine (fresh systems each attempt)")
+		retryBackoff = fs.Duration("retry-backoff", 0, "sleep before the first retry, doubled each further attempt")
 
-		faultSeed = flag.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
-		faultRate = flag.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
-		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
+		benchSnap = fs.Int("bench-snapshot", -1, "run the perf-trajectory benchmarks and write BENCH_<n>.json for this snapshot number (-1: off)")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faultSeed = fs.Uint64("fault-seed", 0, "seed driving every fault-injection decision")
+		faultRate = fs.Float64("fault-rate", 0, "base fault rate p: single-bit flip rate p, double-bit p/100, broadcast drop p/10 (PVA systems only)")
+		watchdog  = fs.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0: off)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 2
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 2
 		}
 		defer func() {
@@ -82,19 +101,19 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				fmt.Fprintf(stderr, "sweep: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				fmt.Fprintf(stderr, "sweep: %v\n", err)
 			}
 		}()
 	}
 
 	if *benchSnap >= 0 {
-		return benchSnapshot(*benchSnap)
+		return benchSnapshot(*benchSnap, stdout, stderr)
 	}
 
 	var names []string
@@ -117,51 +136,90 @@ func run() int {
 		Tech:             *tech,
 		Subarrays:        uint32(*subarrays),
 		Partitions:       uint32(*partitions),
+		CellTimeout:      *cellTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
 	}
 
 	start := time.Now()
 	if *techScaling {
 		points, err := pva.TechSweep(names, nil, nil, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 1
 		}
 		if *jsonOut {
-			return emitJSON(points)
+			return emitJSON(stdout, stderr, points)
 		}
-		pva.RenderTechScaling(os.Stdout, points)
-		fmt.Printf("%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+		pva.RenderTechScaling(stdout, points)
+		fmt.Fprintf(stdout, "%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
 		return 0
 	}
 	if *channelsFlag != "" {
 		channels, err := parseChannels(*channelsFlag)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 2
 		}
 		points, err := pva.ChannelSweep(names, nil, channels, nil, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 1
 		}
 		if *jsonOut {
-			return emitJSON(points)
+			return emitJSON(stdout, stderr, points)
 		}
-		pva.RenderChannelScaling(os.Stdout, points)
-		fmt.Printf("%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+		pva.RenderChannelScaling(stdout, points)
+		fmt.Fprintf(stdout, "%d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
 		return 0
+	}
+
+	if *journalDir != "" || *isolate {
+		out, err := pva.ResumableSweep(names, nil, nil, *journalDir, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+		points := out.Completed()
+		code := 0
+		if len(out.Failures) > 0 {
+			// Partial success: name every quarantined cell on stderr, then
+			// still emit the completed grid.
+			fmt.Fprintf(stderr, "sweep: %d of %d cells quarantined:\n", len(out.Failures), len(out.Points))
+			for _, f := range out.Failures {
+				fmt.Fprintf(stderr, "  %s\n", f)
+			}
+			code = 3
+		}
+		if *jsonOut {
+			if rc := emitJSON(stdout, stderr, points); rc != 0 {
+				return rc
+			}
+			return code
+		}
+		pva.Figures(stdout, points)
+		fmt.Fprintf(stdout, "%d of %d points in %v (%d resumed from journal)\n",
+			len(points), len(out.Points), time.Since(start).Round(time.Millisecond), out.Resumed)
+		return code
 	}
 
 	points, err := pva.SweepWithOptions(names, nil, nil, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		// The harness wraps every failure with its cell coordinates
+		// (kernel, stride, alignment, system), so the message printed here
+		// names the failing cell.
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
 	if *jsonOut {
-		return emitJSON(points)
+		return emitJSON(stdout, stderr, points)
 	}
-	pva.Figures(os.Stdout, points)
-	fmt.Printf("%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
+	pva.Figures(stdout, points)
+	fmt.Fprintf(stdout, "%d points in %v%s\n", len(points), time.Since(start).Round(time.Millisecond),
 		map[bool]string{true: " (verified against reference)", false: ""}[*verify])
 	return 0
 }
@@ -173,10 +231,10 @@ func run() int {
 // System per run, the same tick loop with the channels on the worker
 // pool, and the full warm-started serial sweep. EXPERIMENTS.md
 // documents the file format.
-func benchSnapshot(n int) int {
+func benchSnapshot(n int, stdout, stderr io.Writer) int {
 	k, err := pva.KernelByName("vaxpy")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
 	}
 	trace := k.Build(pva.PaperParams(19, 1))
@@ -294,21 +352,21 @@ func benchSnapshot(n int) int {
 	path := fmt.Sprintf("BENCH_%d.json", n)
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snapshot); err != nil {
 		f.Close()
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return 0
 }
 
@@ -324,11 +382,11 @@ func parseChannels(s string) ([]uint32, error) {
 	return out, nil
 }
 
-func emitJSON(v any) int {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
 	return 0

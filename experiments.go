@@ -5,7 +5,9 @@
 package pva
 
 import (
+	"fmt"
 	"io"
+	"time"
 
 	"pva/internal/harness"
 	"pva/internal/kernels"
@@ -67,8 +69,14 @@ func RunKernelWithOptions(kind SystemKind, kernel string, p KernelParams, o Swee
 	if err != nil {
 		return SweepPoint{}, err
 	}
+	if err := o.Validate(); err != nil {
+		return SweepPoint{}, err
+	}
 	r := o.runner()
 	r.Elements = p.Elements
+	if o.CellTimeout > 0 || o.Retries > 0 {
+		return r.RunPointGuarded(k, p.Stride, p.Alignment, kind)
+	}
 	return r.RunPoint(k, p.Stride, p.Alignment, kind)
 }
 
@@ -118,20 +126,55 @@ type SweepOptions struct {
 	Subarrays uint32
 	// Partitions sets partitions per internal bank for Tech="pcm".
 	Partitions uint32
+	// CellTimeout is the per-cell wall-clock deadline for fault-isolated
+	// and resumable sweeps, layered above the simulated-cycle watchdog
+	// (0: no deadline). A timed-out cell's warm systems are discarded.
+	CellTimeout time.Duration
+	// Retries re-attempts a failing cell that many times (each on fresh
+	// systems) before quarantining it; 0 means a single attempt.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubled each
+	// further attempt (0: retry immediately).
+	RetryBackoff time.Duration
+}
+
+// Validate rejects option combinations no sweep can honor. The plain
+// Sweep/SweepWithOptions entry points tolerate the zero value without
+// calling it; the CLIs call it on flag-built options.
+func (o SweepOptions) Validate() error {
+	if o.CellTimeout < 0 {
+		return fmt.Errorf("pva: CellTimeout %v is negative", o.CellTimeout)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("pva: Retries %d is negative", o.Retries)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("pva: RetryBackoff %v is negative", o.RetryBackoff)
+	}
+	if o.RetryBackoff > 0 && o.Retries == 0 {
+		return fmt.Errorf("pva: RetryBackoff %v without Retries has no effect", o.RetryBackoff)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("pva: Workers %d is negative", o.Workers)
+	}
+	return nil
 }
 
 func (o SweepOptions) runner() harness.Runner {
 	return harness.Runner{
-		Elements:   o.Elements,
-		Verify:     o.Verify,
-		Channels:   o.Channels,
-		AddrMap:    o.AddrMap,
-		Fault:      o.Fault,
-		Watchdog:   o.Watchdog,
-		Parallel:   o.ParallelChannels,
-		Tech:       o.Tech,
-		Subarrays:  o.Subarrays,
-		Partitions: o.Partitions,
+		Elements:     o.Elements,
+		Verify:       o.Verify,
+		Channels:     o.Channels,
+		AddrMap:      o.AddrMap,
+		Fault:        o.Fault,
+		Watchdog:     o.Watchdog,
+		Parallel:     o.ParallelChannels,
+		Tech:         o.Tech,
+		Subarrays:    o.Subarrays,
+		Partitions:   o.Partitions,
+		CellTimeout:  o.CellTimeout,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
 	}
 }
 
@@ -143,6 +186,43 @@ func SweepWithOptions(kernelNames []string, strides []uint32, systems []SystemKi
 		return r.Sweep(kernelNames, strides, systems)
 	}
 	return r.ParallelSweep(kernelNames, strides, systems, o.Workers)
+}
+
+// SweepOutcome is a fault-isolated sweep's result: the full grid with
+// per-cell completion, the quarantine manifest, and the journal-replay
+// count.
+type SweepOutcome = harness.Outcome
+
+// CellFailure names one quarantined cell of a fault-isolated sweep.
+type CellFailure = harness.CellFailure
+
+// Sentinel errors of the fault-isolated and resumable sweep paths;
+// match with errors.Is.
+var (
+	// ErrCellTimeout: a cell exceeded SweepOptions.CellTimeout.
+	ErrCellTimeout = harness.ErrCellTimeout
+	// ErrJournalMismatch: the journal directory belongs to a sweep run
+	// with different flags or a different grid.
+	ErrJournalMismatch = harness.ErrJournalMismatch
+)
+
+// ResumableSweep measures the grid with per-cell failure isolation and,
+// when journalDir is non-empty, crash-safe journaling: every completed
+// cell is appended (checksummed, fsynced) to journalDir/sweep.journal
+// and the post-construction memory checkpoint is persisted to
+// journalDir/base.ckpt, so re-running after a crash with the same
+// arguments replays completed cells and re-measures only in-flight ones
+// — the merged outcome is bit-identical to an uninterrupted run. Cells
+// that keep failing after SweepOptions.Retries attempts are quarantined
+// into the outcome's Failures manifest while the rest of the grid
+// completes; Outcome.Err() summarizes the manifest. A journal written
+// under different arguments is refused with ErrJournalMismatch.
+func ResumableSweep(kernelNames []string, strides []uint32, systems []SystemKind, journalDir string, o SweepOptions) (*SweepOutcome, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o.runner().ResumableSweep(kernelNames, strides, systems, o.Workers,
+		harness.JournalConfig{Dir: journalDir})
 }
 
 // ChannelPoint is one cell of the channel-scaling experiment: the

@@ -158,6 +158,12 @@ func (sn *clsSnapshot) NewSystem() (memsys.System, error) {
 	return &c, nil
 }
 
+// MemoryImage implements memsys.ImageSnapshotter.
+func (s *CacheLineSerial) MemoryImage() *memsys.Image { return s.store.Snapshot() }
+
+// RestoreImage implements memsys.ImageSnapshotter.
+func (s *CacheLineSerial) RestoreImage(img *memsys.Image) { s.store.Restore(img) }
+
 // Run implements memsys.System: serial, 20 cycles per distinct line
 // touched, in reference order.
 func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
@@ -305,6 +311,12 @@ func (sn *gsSnapshot) NewSystem() (memsys.System, error) {
 	c.store = memsys.NewStoreFrom(sn.img)
 	return &c, nil
 }
+
+// MemoryImage implements memsys.ImageSnapshotter.
+func (s *GatheringSerial) MemoryImage() *memsys.Image { return s.store.Snapshot() }
+
+// RestoreImage implements memsys.ImageSnapshotter.
+func (s *GatheringSerial) RestoreImage(img *memsys.Image) { s.store.Restore(img) }
 
 // Run implements memsys.System: per command, precharge + RAS + CAS once
 // (closed-page policy, page crossings optimistically ignored), then one

@@ -1,0 +1,214 @@
+// The result journal: an append-only file of checksummed records the
+// sweep engine uses to persist per-cell outcomes as they complete, so a
+// killed process can resume without re-running finished work.
+//
+// Wire format (version 1, little-endian):
+//
+//	header (22 bytes)
+//	  [ 0: 4)  magic "PVJL"
+//	  [ 4: 6)  format version (1)
+//	  [ 6:14)  config hash (HashConfig of the sweep configuration + grid)
+//	  [14:18)  cell count of the planned grid
+//	  [18:22)  CRC-32 (IEEE) of bytes [0:18)
+//	records, each
+//	  [ 0: 1)  kind
+//	  [ 1: 5)  payload length
+//	  [ 5: 9)  CRC-32 (IEEE) of kind byte + payload
+//	  [ 9: 9+len)  payload
+//
+// The crash-recovery protocol: records are appended in one write and
+// fsynced, so a SIGKILL can tear at most the final record. Scan
+// tolerates exactly that — it returns every record up to the first
+// invalid frame and reports how many tail bytes it dropped — while a
+// damaged header (the part written once, at creation) is a typed error,
+// because nothing after it can be trusted. OpenAppend truncates the torn
+// tail before appending so new records always extend a valid prefix.
+package ckptio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+const (
+	journalMagic      = "PVJL"
+	journalVersion    = 1
+	journalHeaderSize = 22
+	recHeaderSize     = 9
+)
+
+// JournalInfo is a journal's header plus what scanning learned about its
+// integrity.
+type JournalInfo struct {
+	ConfigHash uint64
+	CellCount  uint32
+	// TornBytes counts trailing bytes dropped as an incomplete or
+	// corrupt final frame — the residue of a crash mid-append. 0 for a
+	// cleanly closed journal.
+	TornBytes int
+}
+
+// Record is one journal entry. Kind values are the caller's namespace;
+// ckptio only frames and checksums them.
+type Record struct {
+	Kind    uint8
+	Payload []byte
+}
+
+// ScanJournalBytes parses a journal held in memory. It returns every
+// record on the valid prefix; a torn tail is reported via
+// JournalInfo.TornBytes, not an error. Header damage is a typed error.
+func ScanJournalBytes(data []byte) (JournalInfo, []Record, error) {
+	info, end, recs, err := scanJournal(data)
+	if err != nil {
+		return JournalInfo{}, nil, err
+	}
+	info.TornBytes = len(data) - end
+	return info, recs, nil
+}
+
+// scanJournal validates the header and walks frames, returning the
+// records of the valid prefix and the byte offset where it ends.
+func scanJournal(data []byte) (JournalInfo, int, []Record, error) {
+	if len(data) < journalHeaderSize {
+		return JournalInfo{}, 0, nil, formatErr(int64(len(data)), ErrTruncated,
+			"journal header needs %d bytes, have %d", journalHeaderSize, len(data))
+	}
+	if string(data[:4]) != journalMagic {
+		return JournalInfo{}, 0, nil, formatErr(0, ErrBadMagic, "want %q, got %q", journalMagic, data[:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(data[18:]), crc32.ChecksumIEEE(data[:18]); got != want {
+		return JournalInfo{}, 0, nil, formatErr(18, ErrCorrupt, "journal header CRC %#x, computed %#x", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != journalVersion {
+		return JournalInfo{}, 0, nil, formatErr(4, ErrVersion, "journal version %d, this build reads %d", v, journalVersion)
+	}
+	info := JournalInfo{
+		ConfigHash: binary.LittleEndian.Uint64(data[6:]),
+		CellCount:  binary.LittleEndian.Uint32(data[14:]),
+	}
+	var recs []Record
+	off := journalHeaderSize
+	for {
+		rest := data[off:]
+		if len(rest) < recHeaderSize {
+			return info, off, recs, nil // torn tail (or clean EOF)
+		}
+		n := binary.LittleEndian.Uint32(rest[1:])
+		// A frame longer than the remaining input is a torn append; the
+		// check also bounds the payload slice by the input length.
+		if uint64(len(rest)) < recHeaderSize+uint64(n) {
+			return info, off, recs, nil
+		}
+		payload := rest[recHeaderSize : recHeaderSize+n]
+		crc := crc32.NewIEEE()
+		crc.Write(rest[:1])
+		crc.Write(payload)
+		if binary.LittleEndian.Uint32(rest[5:]) != crc.Sum32() {
+			return info, off, recs, nil // torn or flipped: everything after is untrusted
+		}
+		recs = append(recs, Record{Kind: rest[0], Payload: payload})
+		off += recHeaderSize + int(n)
+	}
+}
+
+// ScanJournal reads and parses the journal file at path.
+func ScanJournal(path string) (JournalInfo, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JournalInfo{}, nil, err
+	}
+	return ScanJournalBytes(data)
+}
+
+// Journal is an open journal file positioned for appending.
+type Journal struct {
+	f *os.File
+	// NoSync skips the per-record fsync. Appends become as durable as
+	// the OS page cache only — tests use it; production sweeps keep the
+	// default sync-every-record.
+	NoSync bool
+}
+
+// CreateJournal creates a fresh journal at path (failing if one exists)
+// and durably writes its header.
+func CreateJournal(path string, configHash uint64, cellCount uint32) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, journalHeaderSize)
+	copy(hdr, journalMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], journalVersion)
+	binary.LittleEndian.PutUint64(hdr[6:], configHash)
+	binary.LittleEndian.PutUint32(hdr[14:], cellCount)
+	binary.LittleEndian.PutUint32(hdr[18:], crc32.ChecksumIEEE(hdr[:18]))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// OpenAppend opens an existing journal for appending: it scans the file,
+// truncates any torn tail left by a crash, and positions writes at the
+// end of the valid prefix. The scanned header and records are returned
+// so the caller replays completed work from the same read.
+func OpenAppend(path string) (*Journal, JournalInfo, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, JournalInfo{}, nil, err
+	}
+	info, end, recs, err := scanJournal(data)
+	if err != nil {
+		return nil, JournalInfo{}, nil, err
+	}
+	info.TornBytes = len(data) - end
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, JournalInfo{}, nil, err
+	}
+	if info.TornBytes > 0 {
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, JournalInfo{}, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(end), 0); err != nil {
+		f.Close()
+		return nil, JournalInfo{}, nil, err
+	}
+	return &Journal{f: f}, info, recs, nil
+}
+
+// Append durably appends one record: a single write of the framed
+// record, then (unless NoSync) an fsync, so a crash can tear at most
+// this record and Scan will drop it cleanly.
+func (j *Journal) Append(kind uint8, payload []byte) error {
+	rec := make([]byte, recHeaderSize+len(payload))
+	rec[0] = kind
+	binary.LittleEndian.PutUint32(rec[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(rec[:1])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(rec[5:], crc.Sum32())
+	copy(rec[recHeaderSize:], payload)
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("ckptio: journal append: %w", err)
+	}
+	if j.NoSync {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,148 @@
+package ckptio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestJournalAppendScan: create, append, scan — records come back in
+// order with their kinds and payloads intact.
+func TestJournalAppendScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path, 0xABCD, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: 1, Payload: []byte(`{"index":0}`)},
+		{Kind: 2, Payload: []byte(`{"index":1,"error":"boom"}`)},
+		{Kind: 1, Payload: nil},
+	}
+	for _, r := range want {
+		if err := j.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, got, err := ScanJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ConfigHash != 0xABCD || info.CellCount != 40 || info.TornBytes != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || !reflect.DeepEqual(append([]byte{}, got[i].Payload...), append([]byte{}, want[i].Payload...)) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalTornTail: truncating the file at every byte boundary inside
+// the final record must drop exactly that record — earlier records
+// survive, and OpenAppend truncates the residue so a new append extends
+// a valid prefix.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.journal")
+	j, err := CreateJournal(path, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoSync = true
+	payloads := [][]byte{[]byte("first-cell-result"), []byte("second-cell-result")}
+	for _, p := range payloads {
+		if err := j.Append(1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := journalHeaderSize + recHeaderSize + len(payloads[0])
+	for cut := firstEnd + 1; cut < len(whole); cut++ {
+		torn := filepath.Join(dir, "torn.journal")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, recs, err := ScanJournal(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0].Payload) != string(payloads[0]) {
+			t.Fatalf("cut %d: surviving records %v", cut, recs)
+		}
+		if info.TornBytes != cut-firstEnd {
+			t.Fatalf("cut %d: TornBytes %d, want %d", cut, info.TornBytes, cut-firstEnd)
+		}
+		// Resume protocol: append after the torn tail, then rescan.
+		w, _, recs2, err := OpenAppend(torn)
+		if err != nil {
+			t.Fatalf("cut %d: OpenAppend: %v", cut, err)
+		}
+		if len(recs2) != 1 {
+			t.Fatalf("cut %d: OpenAppend saw %d records", cut, len(recs2))
+		}
+		w.NoSync = true
+		if err := w.Append(2, []byte("resumed")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		_, recs3, err := ScanJournal(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs3) != 2 || string(recs3[1].Payload) != "resumed" {
+			t.Fatalf("cut %d: post-resume records %v", cut, recs3)
+		}
+		os.Remove(torn)
+	}
+}
+
+// TestJournalHeaderDamage: a flipped header byte is a typed error — the
+// whole journal is untrusted, unlike a torn tail.
+func TestJournalHeaderDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 1 // config-hash byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ScanJournal(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := OpenAppend(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenAppend: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestJournalCreateExisting: CreateJournal refuses to clobber.
+func TestJournalCreateExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := CreateJournal(path, 1, 1); err == nil {
+		t.Fatal("CreateJournal clobbered an existing journal")
+	}
+}

@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pva/internal/addrmap"
 	"pva/internal/baseline"
@@ -56,6 +57,30 @@ func (k SystemKind) String() string {
 // "pva-sdram" rather than an enum ordinal.
 func (k SystemKind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
+}
+
+// ParseSystemKind inverts String/MarshalJSON.
+func ParseSystemKind(name string) (SystemKind, error) {
+	for _, k := range AllSystems() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown system %q", name)
+}
+
+// UnmarshalJSON accepts the report name, so journal records replay to
+// the exact Point that was recorded.
+func (k *SystemKind) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("harness: system kind must be a JSON string, got %s", data)
+	}
+	got, err := ParseSystemKind(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*k = got
+	return nil
 }
 
 // NewSystem constructs a fresh instance of a memory system.
@@ -123,6 +148,16 @@ type Runner struct {
 	Subarrays uint32
 	// Partitions sets partitions per internal bank for Tech="pcm".
 	Partitions uint32
+	// CellTimeout is the per-cell wall-clock deadline for fault-isolated
+	// sweeps, layered above the simulated-cycle watchdog (0: none). A
+	// timed-out cell's systems are discarded, never reused.
+	CellTimeout time.Duration
+	// Retries is how many times a failing cell is re-attempted (on fresh
+	// systems) before quarantine; 0 means a single attempt.
+	Retries int
+	// RetryBackoff is the sleep before retry attempt n, doubled each
+	// attempt (0: retry immediately).
+	RetryBackoff time.Duration
 }
 
 // channels normalizes the channel count (0 means 1).

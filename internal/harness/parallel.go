@@ -5,6 +5,12 @@
 // and results land at their planned index, making the output
 // deterministically identical to the serial sweep regardless of
 // scheduling.
+//
+// One engine, runJobs, serves every execution mode: the historical
+// fail-fast sweep (first error aborts), the fault-isolated sweep
+// (failing cells are quarantined, the rest of the grid completes), and
+// the journaled resumable sweep (resume.go layers replay and durable
+// record appends on top via runConfig).
 
 package harness
 
@@ -28,6 +34,11 @@ type cellRunner struct {
 	r    Runner
 	sys  [numSystems]memsys.Snapshotter
 	base [numSystems]memsys.Checkpoint
+	// baseImg, when non-nil, seeds each kind's first construction: the
+	// memory rewinds to this durable (decoded-from-disk) image before
+	// the warm-start checkpoint is taken, so a resumed sweep provably
+	// runs on the image the journal's base checkpoint recorded.
+	baseImg *memsys.Image
 }
 
 // runPoint measures one cell, warm-starting when the system supports it
@@ -43,6 +54,11 @@ func (c *cellRunner) runPoint(j job) (Point, error) {
 	sys, err := c.r.newSystem(k)
 	if err != nil {
 		return Point{}, err
+	}
+	if c.baseImg != nil {
+		if is, ok := sys.(memsys.ImageSnapshotter); ok {
+			is.RestoreImage(c.baseImg)
+		}
 	}
 	if sn, ok := sys.(memsys.Snapshotter); ok {
 		c.sys[k] = sn
@@ -79,62 +95,131 @@ func (r Runner) ParallelSweep(kernelNames []string, strides []uint32, systems []
 	return r.sweep(jobs, workers)
 }
 
-// sweep executes a planned job list over the pool; split from
-// ParallelSweep so tests can drive hand-built jobs (e.g. a kernel whose
-// builder panics) through the exact production worker path.
+// sweep executes a planned job list over the pool with the historical
+// fail-fast semantics; split from ParallelSweep so tests can drive
+// hand-built jobs (e.g. a kernel whose builder panics) through the
+// exact production worker path.
 func (r Runner) sweep(jobs []job, workers int) ([]Point, error) {
+	out, err := r.runJobs(jobs, workers, runConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return out.Points, nil
+}
+
+// runConfig selects a runJobs execution mode. The zero value is the
+// historical fail-fast sweep.
+type runConfig struct {
+	// isolate quarantines failing cells into Outcome.Failures and keeps
+	// going, instead of aborting the sweep on the first error.
+	isolate bool
+	// replayed maps plan indices to journal-replayed Points; those cells
+	// are not re-run.
+	replayed map[int]Point
+	// baseImg seeds every worker's first-construction memory image (see
+	// cellRunner.baseImg).
+	baseImg *memsys.Image
+	// sink, when non-nil, durably records each cell outcome as it lands.
+	sink *journalSink
+}
+
+// runJobs is the one sweep engine: it executes the planned job list on
+// up to workers goroutines (workers <= 0: one per CPU; the single-worker
+// case runs inline with no pool machinery), each worker guarding its
+// cells with the runner's failure policy (per-cell deadline, bounded
+// retry). Results land at their planned index; replayed cells are
+// filled in without running.
+func (r Runner) runJobs(jobs []job, workers int, rc runConfig) (*Outcome, error) {
+	out := &Outcome{
+		Points: make([]Point, len(jobs)),
+		Done:   make([]bool, len(jobs)),
+	}
+	todo := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if p, ok := rc.replayed[i]; ok {
+			out.Points[i] = p
+			out.Done[i] = true
+			out.Resumed++
+			continue
+		}
+		todo = append(todo, i)
+	}
+
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		// One worker is exactly the serial sweep; skip the pool machinery.
-		points := make([]Point, len(jobs))
-		cells := cellRunner{r: r}
-		for i, j := range jobs {
-			p, err := cells.runPointSafe(j)
-			if err != nil {
-				return nil, err
-			}
-			points[i] = p
-		}
-		return points, nil
+	if workers > len(todo) {
+		workers = len(todo)
 	}
 
-	points := make([]Point, len(jobs))
 	var (
-		next    atomic.Int64 // index of the next unclaimed job
-		failed  atomic.Bool  // set once any worker errors; stops claiming
-		wg      sync.WaitGroup
+		mu      sync.Mutex // guards out.Failures
+		next    atomic.Int64
+		failed  atomic.Bool // set once the sweep must stop claiming cells
 		errOnce sync.Once
 		firstEr error
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cells := cellRunner{r: r} // warm systems are per-worker, never shared
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				j := jobs[i]
-				p, err := cells.runPointSafe(j)
-				if err != nil {
-					errOnce.Do(func() { firstEr = err })
-					failed.Store(true)
-					return
-				}
-				points[i] = p
-			}
-		}()
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err })
+		failed.Store(true)
 	}
-	wg.Wait()
+	work := func(g *guardedRunner) {
+		for !failed.Load() {
+			n := int(next.Add(1)) - 1
+			if n >= len(todo) {
+				return
+			}
+			i := todo[n]
+			p, attempts, err := g.run(jobs[i])
+			if err == nil {
+				if jerr := rc.sink.appendDone(i, p); jerr != nil {
+					fail(jerr)
+					return
+				}
+				out.Points[i] = p
+				out.Done[i] = true
+				continue
+			}
+			if !rc.isolate {
+				fail(err)
+				return
+			}
+			f := CellFailure{
+				Index:     i,
+				Kernel:    jobs[i].kernel.Name,
+				Stride:    jobs[i].stride,
+				Alignment: jobs[i].alignment,
+				System:    jobs[i].system,
+				Attempts:  attempts,
+				Err:       err.Error(),
+			}
+			if jerr := rc.sink.appendFailure(f); jerr != nil {
+				fail(jerr)
+				return
+			}
+			mu.Lock()
+			out.Failures = append(out.Failures, f)
+			mu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		work(newGuardedRunner(r, rc.baseImg))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Warm systems are per-worker, never shared.
+				work(newGuardedRunner(r, rc.baseImg))
+			}()
+		}
+		wg.Wait()
+	}
 	if failed.Load() {
 		return nil, firstEr
 	}
-	return points, nil
+	sortFailures(out.Failures)
+	return out, nil
 }

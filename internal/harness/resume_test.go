@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pva/internal/kernels"
+	"pva/internal/memsys"
+)
+
+// resumeGrid is the small sweep the kill-and-resume tests run: 20 cells,
+// enough for interesting cut points, small enough to re-run many times.
+func resumeGrid() ([]string, []uint32, []SystemKind) {
+	return []string{"copy"}, []uint32{1, 19}, []SystemKind{PVASDRAM, CacheLineSerial}
+}
+
+// TestResumeKillAtRandomBoundaries is the crash-safety pin: a journaled
+// sweep aborted at randomized cell boundaries (and once with a torn
+// trailing record) must, when resumed with the same flags, produce an
+// outcome bit-identical to the uninterrupted run.
+func TestResumeKillAtRandomBoundaries(t *testing.T) {
+	r := Runner{Elements: 128}
+	ks, strides, systems := resumeGrid()
+
+	want, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{
+		Dir: filepath.Join(t.TempDir(), "uninterrupted"), NoSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Err() != nil || want.Resumed != 0 {
+		t.Fatalf("uninterrupted run not clean: %+v", want)
+	}
+	cells := len(want.Points)
+
+	rng := rand.New(rand.NewSource(1))
+	cuts := []int{1, cells - 1}
+	for i := 0; i < 4; i++ {
+		cuts = append(cuts, 1+rng.Intn(cells-1))
+	}
+	for _, cut := range cuts {
+		for _, tear := range []bool{false, true} {
+			dir := t.TempDir()
+			_, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{
+				Dir: dir, NoSync: true, abortAfter: cut,
+			})
+			if !errors.Is(err, errAborted) {
+				t.Fatalf("cut %d: abort hook returned %v", cut, err)
+			}
+			if tear {
+				// A crash mid-append: chop bytes off the last record. The
+				// resume must drop exactly that record and re-run its cell.
+				jPath, _ := journalFiles(dir)
+				data, err := os.ReadFile(jPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(jPath, data[:len(data)-3], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{Dir: dir, NoSync: true})
+			if err != nil {
+				t.Fatalf("cut %d tear %v: resume failed: %v", cut, tear, err)
+			}
+			wantResumed := cut
+			if tear {
+				wantResumed--
+			}
+			if got.Resumed != wantResumed {
+				t.Errorf("cut %d tear %v: replayed %d cells, want %d", cut, tear, got.Resumed, wantResumed)
+			}
+			if len(got.Failures) != 0 {
+				t.Errorf("cut %d tear %v: unexpected quarantine: %v", cut, tear, got.Failures)
+			}
+			if !reflect.DeepEqual(got.Points, want.Points) {
+				t.Errorf("cut %d tear %v: resumed grid diverged from uninterrupted run", cut, tear)
+			}
+			// A second resume replays everything and runs nothing.
+			again, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{Dir: dir, NoSync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Resumed != cells || !reflect.DeepEqual(again.Points, want.Points) {
+				t.Errorf("cut %d tear %v: full replay resumed %d/%d cells or diverged", cut, tear, again.Resumed, cells)
+			}
+		}
+	}
+}
+
+// TestResumeRejectsChangedFlags: a journal written under one
+// configuration must refuse to resume under another — merging results
+// measured with different flags would corrupt the grid silently.
+func TestResumeRejectsChangedFlags(t *testing.T) {
+	ks, strides, systems := resumeGrid()
+	dir := t.TempDir()
+	r := Runner{Elements: 128}
+	if _, err := r.ResumableSweep(ks, strides, systems, 1, JournalConfig{Dir: dir, NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func() (*Outcome, error)
+	}{
+		{"elements", func() (*Outcome, error) {
+			r2 := Runner{Elements: 256}
+			return r2.ResumableSweep(ks, strides, systems, 1, JournalConfig{Dir: dir, NoSync: true})
+		}},
+		{"grid", func() (*Outcome, error) {
+			return r.ResumableSweep(ks, []uint32{1, 2}, systems, 1, JournalConfig{Dir: dir, NoSync: true})
+		}},
+		{"systems", func() (*Outcome, error) {
+			return r.ResumableSweep(ks, strides, []SystemKind{PVASDRAM, GatheringSerial}, 1, JournalConfig{Dir: dir, NoSync: true})
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.run(); !errors.Is(err, ErrJournalMismatch) {
+			t.Errorf("%s: got %v, want ErrJournalMismatch", c.name, err)
+		}
+	}
+	// The original flags still resume fine after all those refusals.
+	out, err := r.ResumableSweep(ks, strides, systems, 1, JournalConfig{Dir: dir, NoSync: true})
+	if err != nil || out.Resumed != len(out.Points) {
+		t.Fatalf("original flags no longer resume: %v (%d replayed)", err, out.Resumed)
+	}
+}
+
+// bombKernel builds a kernel whose builder panics until it has been
+// called fuse times (fuse 0: always panics).
+func bombKernel(name string, fuse int64) (kernels.Kernel, *atomic.Int64) {
+	good, err := kernels.ByName("copy")
+	if err != nil {
+		panic(err)
+	}
+	var calls atomic.Int64
+	return kernels.Kernel{
+		Name:    name,
+		Vectors: good.Vectors,
+		Build: func(p kernels.Params) memsys.Trace {
+			if n := calls.Add(1); fuse == 0 || n < fuse {
+				panic("builder exploded")
+			}
+			return good.Build(p)
+		},
+	}, &calls
+}
+
+// TestQuarantinePartialGrid: with isolation on, persistently failing
+// cells land in the manifest with their coordinates while every healthy
+// cell still completes.
+func TestQuarantinePartialGrid(t *testing.T) {
+	good, err := kernels.ByName("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb, _ := bombKernel("bomb", 0)
+	var jobs []job
+	for s := uint32(1); s <= 6; s++ {
+		jobs = append(jobs, job{kernel: good, stride: s, alignment: 0, system: PVASDRAM})
+	}
+	jobs = append(jobs, job{kernel: bomb, stride: 19, alignment: 2, system: PVASDRAM})
+	jobs = append(jobs, job{kernel: good, stride: 8, alignment: 1, system: CacheLineSerial})
+	jobs = append(jobs, job{kernel: bomb, stride: 4, alignment: 0, system: GatheringSerial})
+
+	r := Runner{Elements: 128, Retries: 1}
+	for _, workers := range []int{1, 3} {
+		out, err := r.runJobs(jobs, workers, runConfig{isolate: true})
+		if err != nil {
+			t.Fatalf("workers=%d: isolation aborted the sweep: %v", workers, err)
+		}
+		if len(out.Failures) != 2 {
+			t.Fatalf("workers=%d: %d failures, want 2: %v", workers, len(out.Failures), out.Failures)
+		}
+		f := out.Failures[0]
+		if f.Kernel != "bomb" || f.Stride != 19 || f.Alignment != 2 || f.System != PVASDRAM || f.Attempts != 2 {
+			t.Errorf("workers=%d: first failure misdescribed: %+v", workers, f)
+		}
+		if got := len(out.Completed()); got != len(jobs)-2 {
+			t.Errorf("workers=%d: %d completed cells, want %d", workers, got, len(jobs)-2)
+		}
+		merr := out.Err()
+		if merr == nil {
+			t.Fatalf("workers=%d: manifest error is nil", workers)
+		}
+		for _, want := range []string{"2 of 9", "bomb stride 19 align 2 on pva-sdram", "bomb stride 4 align 0 on gathering-serial"} {
+			if !strings.Contains(merr.Error(), want) {
+				t.Errorf("workers=%d: manifest %q missing %q", workers, merr, want)
+			}
+		}
+	}
+}
+
+// TestCellTimeout: a cell that wedges in wall-clock time (here: a
+// builder that sleeps) must be cut off at the runner's deadline with a
+// typed error naming the cell.
+func TestCellTimeout(t *testing.T) {
+	good, err := kernels.ByName("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := kernels.Kernel{
+		Name:    "tarpit",
+		Vectors: good.Vectors,
+		Build: func(p kernels.Params) memsys.Trace {
+			time.Sleep(10 * time.Second)
+			return good.Build(p)
+		},
+	}
+	jobs := []job{
+		{kernel: good, stride: 1, alignment: 0, system: PVASDRAM},
+		{kernel: slow, stride: 2, alignment: 3, system: PVASDRAM},
+	}
+	r := Runner{Elements: 128, CellTimeout: 50 * time.Millisecond}
+	_, err = r.runJobs(jobs, 1, runConfig{})
+	if !errors.Is(err, ErrCellTimeout) {
+		t.Fatalf("got %v, want ErrCellTimeout", err)
+	}
+	for _, want := range []string{"tarpit", "stride 2", "align 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("timeout error %q does not name the cell (%q missing)", err, want)
+		}
+	}
+}
+
+// TestRetrySucceedsAfterTransient: a cell that fails once and then
+// recovers must succeed within the retry budget, on a fresh system, and
+// leave no quarantine entry.
+func TestRetrySucceedsAfterTransient(t *testing.T) {
+	flaky, calls := bombKernel("flaky", 2)
+	jobs := []job{{kernel: flaky, stride: 1, alignment: 0, system: PVASDRAM}}
+	r := Runner{Elements: 128, Retries: 2, RetryBackoff: time.Millisecond}
+	out, err := r.runJobs(jobs, 1, runConfig{isolate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failures) != 0 {
+		t.Fatalf("transient failure was quarantined: %v", out.Failures)
+	}
+	if !out.Done[0] || out.Points[0].Cycles == 0 {
+		t.Fatalf("cell did not complete: %+v", out.Points[0])
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("builder called %d times, want 2 (fail, then succeed)", got)
+	}
+}
+
+// TestResumedWarmStartMatchesDirect pins the durable warm-start chain:
+// a sweep whose workers seed from the decoded base checkpoint must be
+// bit-identical to the plain in-memory sweep.
+func TestResumedWarmStartMatchesDirect(t *testing.T) {
+	r := Runner{Elements: 128, Channels: 2}
+	ks, strides, systems := resumeGrid()
+	direct, err := r.ParallelSweep(ks, strides, systems, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Abort immediately so every cell re-runs on resume, from the decoded
+	// checkpoint image rather than replaying journal records.
+	if _, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{Dir: dir, NoSync: true, abortAfter: 1}); !errors.Is(err, errAborted) {
+		t.Fatal(err)
+	}
+	out, err := r.ResumableSweep(ks, strides, systems, 2, JournalConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed != 1 {
+		t.Fatalf("resumed %d cells, want 1", out.Resumed)
+	}
+	if !reflect.DeepEqual(out.Points, direct) {
+		t.Fatal("checkpoint-seeded sweep diverged from the in-memory sweep")
+	}
+}

@@ -23,6 +23,8 @@
 package memsys
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +44,40 @@ type pageMap = map[uint32][]uint32
 // so an Image's words never change after Snapshot returns.
 type Image struct {
 	pages pageMap
+}
+
+// PageNumbers returns the image's materialized page numbers in ascending
+// order. Together with Page it is the enumeration the durable checkpoint
+// encoder (internal/ckptio) serializes; sorting makes the encoding
+// canonical, so identical images encode to identical bytes.
+func (img *Image) PageNumbers() []uint32 {
+	pns := make([]uint32, 0, len(img.pages))
+	for pn := range img.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// Page returns the image's page pn, or nil when the page was never
+// materialized (its words are the Fill pattern). The returned slice is
+// part of the immutable image: callers must not modify it.
+func (img *Image) Page(pn uint32) []uint32 { return img.pages[pn] }
+
+// NewImage builds an immutable Image from explicit page contents, the
+// inverse of the PageNumbers/Page enumeration. It takes ownership of the
+// map and every slice — callers (the checkpoint decoder) must not retain
+// or mutate them. Every page must be exactly PageWords long.
+func NewImage(pages map[uint32][]uint32) (*Image, error) {
+	for pn, p := range pages {
+		if len(p) != PageWords {
+			return nil, fmt.Errorf("memsys: page %d has %d words, want %d", pn, len(p), PageWords)
+		}
+	}
+	if pages == nil {
+		pages = pageMap{}
+	}
+	return &Image{pages: pages}, nil
 }
 
 // Store is a sparse 32-bit word memory. Unwritten words read as
