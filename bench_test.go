@@ -351,6 +351,36 @@ func BenchmarkSteadyStateRun(b *testing.B) {
 	}
 }
 
+// BenchmarkGather runs the indexed gather kernel on a reused System —
+// the steady-state cost of the indexed claim/broadcast path (per-bank
+// index claims, index-list bus cycles, enumerated staging), tracked by
+// the benchstat gate alongside the strided hot paths.
+func BenchmarkGather(b *testing.B) {
+	b.ReportAllocs()
+	k, err := KernelByName("gather")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := k.Build(PaperParams(4, 1))
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Run(trace); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
 // BenchmarkParallelTickLoop measures the per-channel parallel engine
 // against the serial engine on the same four-channel configuration, one
 // reused System per sub-benchmark so the steady-state path (and its

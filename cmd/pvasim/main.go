@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		kernel   = flag.String("kernel", "copy", "kernel: copy, copy2, saxpy, scale, scale2, swap, tridiag, vaxpy")
+		kernel   = flag.String("kernel", "copy", "kernel: "+strings.Join(pva.KernelNames(), ", "))
 		stride   = flag.Uint("stride", 1, "element stride in words")
 		align    = flag.Int("align", 0, "relative vector alignment (0-4)")
 		elements = flag.Uint("elements", 1024, "elements per application vector (multiple of 32)")
@@ -115,9 +115,18 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	faulty := plan.Active()
 	techy := *tech != "" && *tech != "sdram"
+	indexed := false
+	for _, pt := range points {
+		if pt.Stats.IndexedElements > 0 {
+			indexed = true
+		}
+	}
 	fmt.Fprintf(w, "system\tcycles\tsdram rd\tsdram wr\tactivates\tprecharges\trow hits\tbus busy\tturnarounds")
 	if techy {
 		fmt.Fprintf(w, "\trow conf\tsub hits\tpart stalls\trd lat\twr lat")
+	}
+	if indexed {
+		fmt.Fprintf(w, "\tidx bus\tidx elems\tclaim imb")
 	}
 	if faulty {
 		fmt.Fprintf(w, "\tecc corr\tecc uncorr\tnacks\tdegraded")
@@ -134,6 +143,14 @@ func main() {
 			fmt.Fprintf(w, "\t%d\t%d\t%d\t%d\t%d", pt.Stats.RowConflicts,
 				pt.Stats.SubarrayHits, pt.Stats.PartitionStalls,
 				pt.Stats.ReadLatencyCycles, pt.Stats.WriteLatencyCycles)
+		}
+		if indexed {
+			imb := 0.0
+			if pt.Stats.IndexedElements > 0 {
+				imb = float64(pt.Stats.IndexedMaxBankClaim) / float64(pt.Stats.IndexedElements)
+			}
+			fmt.Fprintf(w, "\t%d\t%d\t%.3f", pt.Stats.IndexBusCycles,
+				pt.Stats.IndexedElements, imb)
 		}
 		if faulty {
 			fmt.Fprintf(w, "\t%d\t%d\t%d\t%d", pt.Stats.CorrectedECC,

@@ -8,39 +8,71 @@
 //
 //	pvatrace -stride 19 -len 32
 //	pvatrace -stride 16 -len 32 -write
+//	pvatrace -channels 2 -addrmap xor -stride 8
+//	pvatrace -tech salp -subarrays 4 -stride 16
+//	pvatrace -indexed offsets.txt            # whitespace-separated word offsets
+//	pvatrace -indexed offsets.txt -write -base 4096
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"pva"
 )
 
 func main() {
 	var (
-		stride = flag.Uint("stride", 19, "element stride in words")
-		length = flag.Uint("len", 32, "vector length in elements")
-		base   = flag.Uint("base", 0, "base word address")
-		write  = flag.Bool("write", false, "trace a scatter instead of a gather")
+		stride  = flag.Uint("stride", 19, "element stride in words")
+		length  = flag.Uint("len", 32, "vector length in elements")
+		base    = flag.Uint("base", 0, "base word address")
+		write   = flag.Bool("write", false, "trace a scatter instead of a gather")
+		indexed = flag.String("indexed", "", "file of whitespace-separated word offsets: trace an indexed command instead of a strided one (-stride/-len ignored)")
+
+		channels   = flag.Uint("channels", 1, "memory channels (power of two)")
+		addrmap    = flag.String("addrmap", "word", "address decoder: word, line, xor")
+		tech       = flag.String("tech", "", "device back end: sdram, salp, pcm (default sdram)")
+		subarrays  = flag.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
+		partitions = flag.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
 	)
 	flag.Parse()
 
-	sys, log, err := pva.NewTracedSystem(pva.DefaultConfig())
+	cfg := pva.DefaultConfig()
+	cfg.Channels = uint32(*channels)
+	cfg.AddrMap = *addrmap
+	cfg.Tech = *tech
+	cfg.SubarraysPerBank = uint32(*subarrays)
+	cfg.Partitions = uint32(*partitions)
+	sys, log, err := pva.NewTracedSystem(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pvatrace: %v\n", err)
 		os.Exit(1)
 	}
-	v := pva.Vector{Base: uint32(*base), Stride: uint32(*stride), Length: uint32(*length)}
-	cmd := pva.VectorCmd{Op: pva.Read, V: v}
-	if *write {
-		data := make([]uint32, v.Length)
-		for i := range data {
-			data[i] = uint32(i)
+
+	var cmd pva.VectorCmd
+	if *indexed != "" {
+		idx, err := readIndexFile(*indexed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvatrace: %v\n", err)
+			os.Exit(1)
 		}
-		cmd = pva.VectorCmd{Op: pva.Write, V: v, Data: data}
+		v := pva.Vector{Base: uint32(*base), Stride: 0, Length: uint32(len(idx))}
+		cmd = pva.VectorCmd{Op: pva.Read, V: v, Idx: idx}
+	} else {
+		v := pva.Vector{Base: uint32(*base), Stride: uint32(*stride), Length: uint32(*length)}
+		cmd = pva.VectorCmd{Op: pva.Read, V: v}
 	}
+	if *write {
+		cmd.Op = pva.Write
+		cmd.Data = make([]uint32, cmd.V.Length)
+		for i := range cmd.Data {
+			cmd.Data[i] = uint32(i)
+		}
+	}
+
 	res, err := sys.Run(pva.Trace{Cmds: []pva.VectorCmd{cmd}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pvatrace: %v\n", err)
@@ -48,4 +80,33 @@ func main() {
 	}
 	pva.DumpTrace(os.Stdout, log)
 	fmt.Printf("\ntotal: %d cycles, %d events\n", res.Cycles, len(log.Events))
+	if cmd.Indexed() {
+		imb := 0.0
+		if res.Stats.IndexedElements > 0 {
+			imb = float64(res.Stats.IndexedMaxBankClaim) / float64(res.Stats.IndexedElements)
+		}
+		fmt.Printf("indexed: %d elements, %d index bus cycles, claim imbalance %.3f\n",
+			res.Stats.IndexedElements, res.Stats.IndexBusCycles, imb)
+	}
+}
+
+// readIndexFile parses a whitespace-separated list of word offsets.
+func readIndexFile(path string) ([]uint32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%s: no offsets", path)
+	}
+	idx := make([]uint32, len(fields))
+	for i, f := range fields {
+		n, err := strconv.ParseUint(f, 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad offset %q", path, f)
+		}
+		idx[i] = uint32(n)
+	}
+	return idx, nil
 }

@@ -308,6 +308,30 @@ func benchSnapshot(n int, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// The indexed gather kernel on a reused System: the steady-state
+	// cost of the indexed claim/broadcast path.
+	gk, err := pva.KernelByName("gather")
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	gatherTrace := gk.Build(pva.PaperParams(4, 1))
+	gather := func(b *testing.B) {
+		b.ReportAllocs()
+		sys, err := pva.NewSystem(pva.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(gatherTrace); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Run(gatherTrace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	// The serial sweep is the paper's full 960-point cross product on one
 	// goroutine, warm-starting each cell from the copy-on-write
 	// post-construction checkpoint.
@@ -339,6 +363,7 @@ func benchSnapshot(n int, stdout, stderr io.Writer) int {
 		{"SkippingTickLoop", cold(pva.DefaultConfig())},
 		{"StrictTickLoop", cold(strict)},
 		{"ParallelTickLoop", parallel},
+		{"Gather", gather},
 		{"SweepSerial", sweepSerial},
 	} {
 		r := testing.Benchmark(bm.fn)

@@ -1,8 +1,11 @@
-// Sparse-matrix gather: the vector-indirect extension of the paper's
-// conclusion. A CSR-style sparse row names its column indices in an
-// indirection vector; the engine loads that vector (phase one), then
-// broadcasts the resolved addresses so each bank claims and services
-// its own in parallel (phase two).
+// Sparse-matrix gather on the first-class indexed command kind. A
+// CSR-style sparse row names its column indices in an indirection
+// vector; the program streams the paper's two-phase shape through a
+// live Session: a strided read loads the indirection vector (phase
+// one), then an indexed command carries the resolved offsets so each
+// bank claims its own elements off the broadcast by bit mask and
+// services them in parallel (phase two). Every access — including
+// seeding memory — is a vector command on the timed pipeline.
 //
 //	go run ./examples/sparse_gather
 package main
@@ -15,61 +18,96 @@ import (
 )
 
 func main() {
-	e := pva.NewIndirectEngine()
+	ses, err := pva.Open(pva.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 
 	// A dense source vector x at 1<<20, and a sparse row with 32
 	// nonzeros whose column indices are scattered across it.
 	const xBase = 1 << 20
+	const ivBase = 4096
 	cols := make([]uint32, 32)
+	xVals := make([]uint32, 32)
 	for i := range cols {
 		cols[i] = uint32(rng.Intn(100_000))
-	}
-	// Store x[c] = 3*c and the indirection vector at 4096.
-	const ivBase = 4096
-	for i, c := range cols {
-		e.Store().Write(xBase+c, 3*c)
-		e.Store().Write(ivBase+uint32(i), c)
+		xVals[i] = 3 * cols[i]
 	}
 
-	// Two-phase indirect gather: y[i] = x[cols[i]].
-	res, err := e.Gather(xBase, pva.Vector{Base: ivBase, Stride: 1, Length: 32})
+	// Seed memory with vector commands: an indexed write scatters the
+	// x values to their scattered slots, a unit-stride write stores the
+	// indirection vector.
+	n := uint32(len(cols))
+	if _, err := ses.Issue(pva.VectorCmd{
+		Op:   pva.Write,
+		V:    pva.Vector{Base: xBase, Stride: 0, Length: n},
+		Idx:  cols,
+		Data: xVals,
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := ses.Issue(pva.VectorCmd{
+		Op:   pva.Write,
+		V:    pva.Vector{Base: ivBase, Stride: 1, Length: n},
+		Data: cols,
+	}); err != nil {
+		panic(err)
+	}
+
+	// Phase one: gather the indirection vector with an ordinary
+	// base-stride read.
+	ivTicket, err := ses.Issue(pva.VectorCmd{
+		Op: pva.Read,
+		V:  pva.Vector{Base: ivBase, Stride: 1, Length: n},
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("gathered %d scattered elements in %d cycles\n", len(res.Data), res.Cycles)
-	fmt.Printf("  address broadcast: %d cycles (two addresses per bus cycle)\n", res.BroadcastCycle)
-	fmt.Printf("  line staging:      %d cycles\n", res.StageCycles)
-	busy := 0
-	for _, c := range res.BankCycles {
-		if c > 0 {
-			busy++
-		}
+	ivInfo, err := ses.Wait(ivTicket)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("  banks in parallel: %d of 16\n", busy)
+
+	// Phase two: the loaded line is the index list of an indexed read —
+	// y[i] = x[cols[i]] in one command, claims resolved per bank. The
+	// ticket's Data is the session's own buffer, so the index list is
+	// copied before going back in flight.
+	idx := append([]uint32(nil), ivInfo.Data...)
+	gTicket, err := ses.Issue(pva.VectorCmd{
+		Op:  pva.Read,
+		V:   pva.Vector{Base: xBase, Stride: 0, Length: n},
+		Idx: idx,
+	})
+	if err != nil {
+		panic(err)
+	}
+	gInfo, err := ses.Wait(gTicket)
+	if err != nil {
+		panic(err)
+	}
 
 	ok := true
 	for i, c := range cols {
-		if res.Data[i] != 3*c {
+		if gInfo.Data[i] != 3*c {
 			ok = false
-			fmt.Printf("  MISMATCH at %d: got %d want %d\n", i, res.Data[i], 3*c)
+			fmt.Printf("  MISMATCH at %d: got %d want %d\n", i, gInfo.Data[i], 3*c)
 		}
 	}
 	if ok {
 		fmt.Println("all gathered values verified against x[cols[i]]")
 	}
 
-	// Scatter the values back doubled: x[cols[i]] = 2*y[i].
-	doubled := make([]uint32, len(res.Data))
-	for i, v := range res.Data {
-		doubled[i] = 2 * v
-	}
-	if _, err := e.Scatter(xBase, pva.Vector{Base: ivBase, Stride: 1, Length: 32}, doubled); err != nil {
+	if err := ses.Drain(); err != nil {
 		panic(err)
 	}
-	if got, want := e.Store().Read(xBase+cols[0]), 6*cols[0]; got == want {
-		fmt.Println("scatter verified: x[cols[0]] doubled in place")
-	} else {
-		fmt.Printf("scatter MISMATCH: got %d want %d\n", got, want)
+	res, err := ses.Result()
+	if err != nil {
+		panic(err)
 	}
+	fmt.Printf("ran 4 commands in %d cycles\n", res.Cycles)
+	fmt.Printf("  indexed elements:   %d\n", res.Stats.IndexedElements)
+	fmt.Printf("  index bus cycles:   %d (two offsets per cycle)\n", res.Stats.IndexBusCycles)
+	fmt.Printf("  claim imbalance:    %.3f (1/16 = perfectly balanced)\n",
+		float64(res.Stats.IndexedMaxBankClaim)/float64(res.Stats.IndexedElements))
 }

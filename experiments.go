@@ -37,7 +37,18 @@ const (
 // copy2, saxpy, scale, scale2, swap, tridiag, vaxpy.
 func Kernels() []Kernel { return kernels.All() }
 
-// KernelByName looks a kernel up by name.
+// IndexedKernels returns the indexed-command workloads — gather,
+// scatter and CSR spmv — built on the first-class indexed command kind.
+// They are separate from Kernels() so the paper's evaluation set stays
+// pinned.
+func IndexedKernels() []Kernel { return kernels.Indexed() }
+
+// KernelNames lists every known kernel name: the strided evaluation set
+// followed by the indexed workloads.
+func KernelNames() []string { return kernels.Names() }
+
+// KernelByName looks a kernel up by name, in the strided evaluation set
+// and the indexed workloads.
 func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
 
 // PaperParams returns the Section 6.2 defaults (1024-element vectors on

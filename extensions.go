@@ -84,6 +84,16 @@ func SplitVector(t *TLB, v Vector) ([]Vector, error) {
 	return out, nil
 }
 
+// TranslateIndexed translates a virtual-space indexed access — a base
+// plus explicit element offsets — through the superpage TLB into
+// physical word addresses, one Lookup per element (the per-element
+// index-resolution traffic the strided SplitVector path avoids; it
+// shows up in the TLB's Lookups counter). The result is usable directly
+// as a VectorCmd index list with Base 0.
+func TranslateIndexed(t *TLB, base uint32, idx []uint32) ([]uint32, error) {
+	return vcmd.TranslateIndexed(t, base, idx)
+}
+
 // ComplexityParams are the bank-controller design parameters whose
 // structural cost Complexity accounts for (the Table 1 substitute).
 type ComplexityParams = complexity.Params

@@ -1,0 +1,201 @@
+// Pins the extension-facing public surface: the Impulse-style shadow
+// space, the bit-reversal helpers, the superpage TLB indexed
+// translation, and the IndirectEngine wrapper — whose behavioral
+// contract (two-address-per-cycle broadcasts, 16 per-bank slots,
+// persistent store, error cases) must hold regardless of how the engine
+// is implemented underneath.
+package pva
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShadowSpaceTranslate(t *testing.T) {
+	s, err := NewShadowSpace([]ShadowMapping{
+		{ShadowBase: 1 << 16, Length: 64, Base: 100, Stride: 19},
+		{ShadowBase: 1<<16 + 64, Length: 32, Base: 5000, Stride: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 64; i++ {
+		got, ok := s.Translate(1<<16 + i)
+		if !ok || got != 100+19*i {
+			t.Fatalf("shadow word %d -> (%d, %v), want (%d, true)", i, got, ok, 100+19*i)
+		}
+	}
+	if got, ok := s.Translate(1<<16 + 64 + 3); !ok || got != 5000+4*3 {
+		t.Fatalf("second region word 3 -> (%d, %v)", got, ok)
+	}
+	if _, ok := s.Translate(42); ok {
+		t.Fatal("unmapped address translated")
+	}
+	if _, err := NewShadowSpace([]ShadowMapping{
+		{ShadowBase: 0, Length: 64, Base: 0, Stride: 1},
+		{ShadowBase: 32, Length: 64, Base: 0, Stride: 1},
+	}); err == nil {
+		t.Fatal("overlapping shadow regions accepted")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	cases := []struct {
+		x    uint32
+		bits uint
+		want uint32
+	}{
+		{0, 4, 0}, {1, 4, 8}, {2, 4, 4}, {3, 4, 12},
+		{1, 3, 4}, {6, 3, 3}, {1, 10, 512},
+	}
+	for _, c := range cases {
+		if got := BitReverse(c.x, c.bits); got != c.want {
+			t.Errorf("BitReverse(%d, %d) = %d, want %d", c.x, c.bits, got, c.want)
+		}
+	}
+	// An involution on its domain.
+	for x := uint32(0); x < 256; x++ {
+		if got := BitReverse(BitReverse(x, 8), 8); got != x {
+			t.Fatalf("BitReverse not an involution at %d (got %d)", x, got)
+		}
+	}
+}
+
+func TestBitRevAddresses(t *testing.T) {
+	addrs := BitRevAddresses(1000, 3, 2)
+	if len(addrs) != 8 {
+		t.Fatalf("len = %d, want 8", len(addrs))
+	}
+	for i, a := range addrs {
+		want := 1000 + BitReverse(uint32(i), 3)*2
+		if a != want {
+			t.Errorf("addrs[%d] = %d, want %d", i, a, want)
+		}
+	}
+}
+
+func TestTranslateIndexedTLB(t *testing.T) {
+	tlb := IdentityTLB(1<<16, 4096)
+	before := tlb.Lookups
+	idx := []uint32{0, 5000, 9999, 12345}
+	out, err := TranslateIndexed(tlb, 100, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range idx {
+		if out[i] != 100+off {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], 100+off)
+		}
+	}
+	// Indexed translation pays one lookup per element — the traffic the
+	// strided SplitVector path avoids.
+	if got := tlb.Lookups - before; got != len(idx) {
+		t.Errorf("TLB lookups = %d, want %d", got, len(idx))
+	}
+	if _, err := TranslateIndexed(tlb, 1<<16, []uint32{0}); err == nil {
+		t.Fatal("unmapped indexed access translated")
+	}
+}
+
+func TestIndirectEngineRoundTrip(t *testing.T) {
+	e := NewIndirectEngine()
+	addrs := []uint32{10, 26, 42, 1 << 20, 3, 3} // dup addresses allowed
+	data := []uint32{100, 200, 300, 400, 500, 500}
+	wr, err := e.ScatterAddrs(addrs, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Data != nil {
+		t.Error("scatter returned gathered data")
+	}
+	rd, err := e.GatherAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if rd.Data[i] != data[i] {
+			t.Errorf("word %d = %d, want %d", i, rd.Data[i], data[i])
+		}
+	}
+	// The broadcast carries two addresses per bus cycle; the prototype
+	// has 16 bank slots.
+	if rd.BroadcastCycle != uint64(len(addrs)+1)/2 {
+		t.Errorf("BroadcastCycle = %d, want %d", rd.BroadcastCycle, (len(addrs)+1)/2)
+	}
+	if len(rd.BankCycles) != 16 {
+		t.Errorf("len(BankCycles) = %d, want 16", len(rd.BankCycles))
+	}
+	if rd.Cycles == 0 || rd.StageCycles == 0 {
+		t.Errorf("cycles=%d stage=%d, want nonzero", rd.Cycles, rd.StageCycles)
+	}
+	// The store persists across operations and is shared with Store().
+	if got := e.Store().Read(10); got != 100 {
+		t.Errorf("Store().Read(10) = %d, want 100", got)
+	}
+}
+
+func TestIndirectEngineTwoPhase(t *testing.T) {
+	e := NewIndirectEngine()
+	ivBase := uint32(1 << 16)
+	offsets := []uint32{7, 129, 3, 514, 31, 8, 77, 2048}
+	for i, off := range offsets {
+		e.Store().Write(ivBase+uint32(i), off)
+	}
+	table := uint32(1 << 20)
+	for _, off := range offsets {
+		e.Store().Write(table+off, off*11)
+	}
+	res, err := e.Gather(table, Vector{Base: ivBase, Stride: 1, Length: uint32(len(offsets))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range offsets {
+		if res.Data[i] != off*11 {
+			t.Errorf("gathered[%d] = %d, want %d", i, res.Data[i], off*11)
+		}
+	}
+	// Two-phase cost: strictly more cycles than the phase-two gather
+	// alone (phase one is added in).
+	addrs := make([]uint32, len(offsets))
+	for i, off := range offsets {
+		addrs[i] = table + off
+	}
+	p2, err := e.GatherAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= p2.Cycles {
+		t.Errorf("two-phase cycles %d not greater than phase-two-only %d", res.Cycles, p2.Cycles)
+	}
+}
+
+func TestIndirectEngineErrors(t *testing.T) {
+	e := NewIndirectEngine()
+	if _, err := e.GatherAddrs(nil); err == nil {
+		t.Error("empty gather accepted")
+	}
+	if _, err := e.ScatterAddrs([]uint32{1, 2}, []uint32{1}); err == nil {
+		t.Error("mismatched scatter accepted")
+	}
+	if _, err := e.GatherAddrs([]uint32{5}); err != nil {
+		t.Errorf("single-address gather rejected: %v", err)
+	}
+}
+
+func TestKernelByNameListsValid(t *testing.T) {
+	if _, err := KernelByName("gather"); err != nil {
+		t.Fatalf("gather not found: %v", err)
+	}
+	if _, err := KernelByName("spmv"); err != nil {
+		t.Fatalf("spmv not found: %v", err)
+	}
+	_, err := KernelByName("nope")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	for _, want := range []string{"copy", "vaxpy", "gather", "scatter", "spmv"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name valid kernel %q", err, want)
+		}
+	}
+}

@@ -308,7 +308,7 @@ func FuzzFaultRecovery(f *testing.F) {
 		}
 		for _, c := range tr.Cmds {
 			for i := uint32(0); i < c.V.Length; i++ {
-				a := c.V.Addr(i)
+				a := c.Addr(i)
 				if g, w := sys.Peek(a), ref.Peek(a); g != w {
 					t.Fatalf("final image at %d: %#x, reference %#x", a, g, w)
 				}

@@ -9,7 +9,10 @@ import (
 // systems and demand word-for-word agreement with the functional
 // reference — both the gathered lines and the final memory image. One
 // command is ten bytes: flags, a 32-bit base, a 32-bit stride, a length
-// byte. The PVA parser caps bases below 2^24 and strides below 2^18 so
+// byte. Flag bit 0 selects write, bit 1 dataflow (Compute from the last
+// read), bit 2 the indexed command kind — the stride field then seeds a
+// deterministic index list (offsets below 2^18) instead of a stride.
+// The PVA parser caps bases below 2^24 and strides below 2^18 so
 // no vector wraps the 32-bit address space: the front end's conflict
 // guard reasons about non-wrapping bounds, and a wrapped write may
 // legitimately reorder. The baseline parser keeps the full ranges —
@@ -37,6 +40,19 @@ func parseFuzzTrace(data []byte, forPVA bool) (Trace, bool) {
 			stride &= 1<<18 - 1
 		}
 		cmd := VectorCmd{V: Vector{Base: base, Stride: stride, Length: length}}
+		if flags&4 != 0 {
+			// Indexed kind: a deterministic index list derived from the
+			// record. Offsets stay below 2^18 so PVA-capped bases never
+			// wrap the address space.
+			idx := make([]uint32, length)
+			for j := range idx {
+				h := base ^ stride*2654435761 ^ uint32(j)*40503
+				h ^= h >> 13
+				idx[j] = h % (1 << 18)
+			}
+			cmd.V.Stride = 0
+			cmd.Idx = idx
+		}
 		if flags&1 == 0 {
 			cmd.Op = Read
 			lastRead = len(tr.Cmds)
@@ -84,6 +100,12 @@ func fuzzSeeds(f *testing.F) {
 	}
 	f.Add(append(append(seedCmd(0, 0, 19, 31), seedCmd(3, 1<<20, 4, 15)...), seedCmd(0, 1<<20, 4, 15)...))
 	f.Add(append(seedCmd(1, 128, 0, 31), seedCmd(0, 128, 0, 7)...))
+	// Indexed commands: a lone indexed read, an indexed read feeding an
+	// indexed dataflow write, and a strided read feeding an indexed write
+	// over the same region as a follow-up strided read.
+	f.Add(seedCmd(4, 64, 19, 31))
+	f.Add(append(seedCmd(4, 96, 7, 31), seedCmd(7, 96, 11, 31)...))
+	f.Add(append(append(seedCmd(0, 128, 1, 31), seedCmd(7, 1<<20, 3, 15)...), seedCmd(0, 1<<20, 1, 31)...))
 }
 
 // checkAgainstReference runs the trace on sys and the functional
@@ -113,7 +135,7 @@ func checkAgainstReference(t *testing.T, sys System, tr Trace) {
 	}
 	for _, c := range tr.Cmds {
 		for i := uint32(0); i < c.V.Length; i++ {
-			a := c.V.Addr(i)
+			a := c.Addr(i)
 			if g, w := sys.Peek(a), ref.Peek(a); g != w {
 				t.Fatalf("%s: final image at %d = %#x, reference %#x", sys.Name(), a, g, w)
 			}
@@ -179,7 +201,7 @@ func FuzzDifferentialBaselines(f *testing.F) {
 		for _, c := range tr.Cmds {
 			seen := make(map[uint32]struct{})
 			for i := uint32(0); i < c.V.Length; i++ {
-				seen[c.V.Addr(i)/32] = struct{}{}
+				seen[c.Addr(i)/32] = struct{}{}
 			}
 			wantFills += uint64(len(seen))
 		}

@@ -97,11 +97,26 @@ type request struct {
 	txn  int
 	hit  core.Hit // first index, delta, count for this bank
 	addr uint32   // global word address of the first owned element
-	idxs []uint32 // owned element indices when enumerated via an AddrView (nil: closed form)
+	idxs []uint32 // owned element indices when enumerated (AddrView or indexed command); nil: closed form
+
+	// cmdIdx is the command's explicit index list for indexed
+	// (vector-indirect) requests: element i lives at v.Base + cmdIdx[i].
+	// nil for base-stride requests.
+	cmdIdx []uint32
 
 	acc        bool // "address calculation complete"
 	fhcCycles  int  // remaining FHC work when !acc
 	enqueuedAt uint64
+}
+
+// elemAddr returns the global word address of element i under either
+// command kind: base + index for indexed requests, the base-stride
+// arithmetic otherwise.
+func (r *request) elemAddr(i uint32) uint32 {
+	if r.cmdIdx != nil {
+		return r.v.Base + r.cmdIdx[i]
+	}
+	return r.v.Addr(i)
 }
 
 // BC is one bank controller.
@@ -216,11 +231,27 @@ func (bc *BC) Busy() bool {
 // and queues the request. Banks owning nothing deassert the transaction
 // line immediately.
 func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
+	bc.observeCmd(op, v, nil, txn)
+}
+
+// ObserveIndexed is ObserveCommand for an indexed (vector-indirect)
+// command: element i lives at v.Base + idx[i], and the bank claims its
+// elements by decoding each broadcast index — the paper's "simple
+// bit-mask operation" (Section 7) — as the index words stream past.
+// Claims resolve within the broadcast burst, like the FHP fast path.
+func (bc *BC) ObserveIndexed(op memsys.Op, v core.Vector, idx []uint32, txn int) {
+	bc.observeCmd(op, v, idx, txn)
+}
+
+func (bc *BC) observeCmd(op memsys.Op, v core.Vector, idx []uint32, txn int) {
 	var idxs []uint32
 	var hit core.Hit
-	if bc.cfg.View != nil {
+	switch {
+	case idx != nil:
+		idxs, hit = bc.claim(v, idx)
+	case bc.cfg.View != nil:
 		idxs, hit = bc.enumerate(v)
-	} else {
+	default:
 		hit = bc.subVector(v)
 	}
 	if hit.Count == 0 {
@@ -238,14 +269,21 @@ func (bc *BC) ObserveCommand(op memsys.Op, v core.Vector, txn int) {
 		// condition.
 		fault.Invariantf("bankctl", "bank %d register file overflow", bc.cfg.Bank)
 	}
-	r := request{op: op, v: v, txn: txn, hit: hit, idxs: idxs, enqueuedAt: bc.cycle}
-	if pow2(v.Stride) {
+	r := request{op: op, v: v, txn: txn, hit: hit, idxs: idxs, cmdIdx: idx, enqueuedAt: bc.cycle}
+	switch {
+	case idx != nil:
+		// Indexed claim: the first owned address fell out of the bank-
+		// select compare during the broadcast, no arithmetic left to do.
+		r.addr = r.elemAddr(hit.First)
+		r.acc = true
+		bc.stats.FHPPow2++
+	case pow2(v.Stride):
 		// FHP fast path: first-hit address is base + (first << log2(S)),
 		// a shift and add completed within the broadcast cycle.
 		r.addr = v.Base + v.Stride*hit.First
 		r.acc = true
 		bc.stats.FHPPow2++
-	} else {
+	default:
 		r.fhcCycles = bc.cfg.FHCDelay
 	}
 	if op == memsys.Read {
@@ -471,6 +509,31 @@ func (bc *BC) enumerate(v core.Vector) ([]uint32, core.Hit) {
 	var idxs []uint32
 	for i := uint32(0); i < v.Length; i++ {
 		if bc.cfg.View.Owns(v.Addr(i)) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil, core.Hit{First: core.NoHit, Delta: 1}
+	}
+	return idxs, core.Hit{First: idxs[0], Delta: 1, Count: uint32(len(idxs))}
+}
+
+// claim is the FirstHit predictor for indexed commands: every broadcast
+// index is decoded and kept when this bank owns its address — the bank-
+// select bit mask under word interleaving, the decoder view otherwise.
+// The owned element indices feed the same enumerated-request scheduler
+// path the AddrView decoders use.
+func (bc *BC) claim(v core.Vector, idx []uint32) ([]uint32, core.Hit) {
+	var idxs []uint32
+	for i := uint32(0); i < v.Length; i++ {
+		a := v.Base + idx[i]
+		var owns bool
+		if bc.cfg.View != nil {
+			owns = bc.cfg.View.Owns(a)
+		} else {
+			owns = bc.cfg.Geom.DecodeBank(a) == bc.cfg.Bank
+		}
+		if owns {
 			idxs = append(idxs, i)
 		}
 	}

@@ -182,7 +182,7 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 		apply: func(i int, c memsys.VectorCmd) error {
 			switch c.Op {
 			case memsys.Read:
-				lines[i] = s.store.Gather(c.V)
+				lines[i] = gather(s.store, c)
 				res.ReadData[i] = lines[i]
 			case memsys.Write:
 				data, err := memsys.WriteData(c, lines)
@@ -190,7 +190,7 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 					return err
 				}
 				lines[i] = data
-				s.store.Scatter(c.V, data)
+				scatter(s.store, c, data)
 			}
 			return nil
 		},
@@ -202,6 +202,22 @@ func (s *CacheLineSerial) Run(t memsys.Trace) (memsys.Result, error) {
 	res.Cycles = cycles
 	res.Stats.BusBusyCycles = res.Cycles
 	return res, nil
+}
+
+// gather and scatter move a command's data under either kind.
+func gather(st *memsys.Store, c memsys.VectorCmd) []uint32 {
+	if c.Indexed() {
+		return st.GatherAt(c.V.Base, c.Idx)
+	}
+	return st.Gather(c.V)
+}
+
+func scatter(st *memsys.Store, c memsys.VectorCmd, data []uint32) {
+	if c.Indexed() {
+		st.ScatterAt(c.V.Base, c.Idx, data)
+		return
+	}
+	st.Scatter(c.V, data)
 }
 
 // fillTime is a command's execution time: serial fills on one channel,
@@ -229,6 +245,15 @@ func (s *CacheLineSerial) linesTouched(c memsys.VectorCmd) uint64 {
 	v := c.V
 	if v.Length == 0 {
 		return 0
+	}
+	if c.Indexed() {
+		// No closed form for an arbitrary index list: count the distinct
+		// lines directly.
+		seen := make(map[uint32]struct{}, v.Length)
+		for i := uint32(0); i < v.Length; i++ {
+			seen[c.Addr(i)/s.LineWords] = struct{}{}
+		}
+		return uint64(len(seen))
 	}
 	span := uint64(v.Stride) * uint64(v.Length-1)
 	if uint64(v.Base)+span <= 0xFFFFFFFF {
@@ -338,7 +363,7 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 		apply: func(i int, c memsys.VectorCmd) error {
 			switch c.Op {
 			case memsys.Read:
-				lines[i] = s.store.Gather(c.V)
+				lines[i] = gather(s.store, c)
 				res.ReadData[i] = lines[i]
 				res.Stats.SDRAMReads += uint64(c.V.Length)
 			case memsys.Write:
@@ -347,7 +372,7 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 					return err
 				}
 				lines[i] = data
-				s.store.Scatter(c.V, data)
+				scatter(s.store, c, data)
 				res.Stats.SDRAMWrites += uint64(c.V.Length)
 			}
 			return nil
@@ -369,6 +394,21 @@ func (s *GatheringSerial) Run(t memsys.Trace) (memsys.Result, error) {
 func (s *GatheringSerial) expandTime(c memsys.VectorCmd) uint64 {
 	if s.Decoder == nil || s.Decoder.Channels() <= 1 {
 		return uint64(c.V.Length)
+	}
+	if c.Indexed() {
+		// Enumerate the per-channel element counts: an index list has no
+		// closed-form channel split.
+		counts := make([]uint64, s.Decoder.Channels())
+		for i := uint32(0); i < c.V.Length; i++ {
+			counts[s.Decoder.Decode(c.Addr(i)).Channel]++
+		}
+		var max uint64
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		return max
 	}
 	var max uint64
 	for _, h := range addrmap.SplitVector(s.Decoder, c.V) {

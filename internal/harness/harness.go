@@ -285,7 +285,7 @@ func verify(sys memsys.System, trace memsys.Trace, res memsys.Result) error {
 	}
 	for _, c := range trace.Cmds {
 		for i := uint32(0); i < c.V.Length; i++ {
-			a := c.V.Addr(i)
+			a := c.Addr(i)
 			if g, w := sys.Peek(a), ref.Peek(a); g != w {
 				return fmt.Errorf("final image at %d: got %#x, want %#x", a, g, w)
 			}

@@ -12,12 +12,13 @@
 //	cycle). Then, each bank controller can perform its part of the
 //	vector indirect gather operation in parallel."
 //
-// The Engine models exactly that: phase one gathers the indirection
-// vector (a base-stride read), phase two broadcasts the resolved
-// addresses at two per cycle while every bank claims its own by bit
-// mask and services them through a real sdram.Device with a greedy
-// open-row schedule; the line stages back over the shared bus like any
-// other PVA read.
+// Historically this package carried its own private broadcast/claim/
+// service loop. Indexed commands are now a first-class kind in the real
+// pipeline (memsys.VectorCmd.Idx), so the Engine here is a thin wrapper:
+// every GatherAddrs/ScatterAddrs call becomes one indexed vector command
+// executed by a pvaunit.System — timed banks, shared-bus protocol,
+// per-bank claim by bit mask — and the Result fields are read back from
+// the pipeline's statistics. The public API is unchanged.
 package indirect
 
 import (
@@ -26,6 +27,7 @@ import (
 	"pva/internal/addr"
 	"pva/internal/core"
 	"pva/internal/memsys"
+	"pva/internal/pvaunit"
 	"pva/internal/sdram"
 )
 
@@ -41,20 +43,26 @@ func PaperConfig() Config {
 	return Config{Banks: 16, SGeom: addr.MustSDRAMGeom(4, 512, 8192), Timing: sdram.PaperTiming()}
 }
 
-// Engine performs indirect operations over a store.
+// Engine performs indirect operations over a store by driving a real
+// PVA system with indexed vector commands.
 type Engine struct {
-	cfg   Config
-	geom  core.Geometry
-	store *memsys.Store
+	cfg Config
+	sys *pvaunit.System
 }
 
 // New returns an engine over a fresh store.
 func New(cfg Config) (*Engine, error) {
-	g, err := core.NewGeometry(cfg.Banks)
+	sys, err := pvaunit.New(pvaunit.Config{
+		Banks:     cfg.Banks,
+		Channels:  1,
+		LineWords: 64,
+		SGeom:     cfg.SGeom,
+		Timing:    cfg.Timing,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("indirect: %w", err)
 	}
-	return &Engine{cfg: cfg, geom: g, store: memsys.NewStore()}, nil
+	return &Engine{cfg: cfg, sys: sys}, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -67,13 +75,13 @@ func MustNew(cfg Config) *Engine {
 }
 
 // Store exposes the backing store for seeding and inspection.
-func (e *Engine) Store() *memsys.Store { return e.store }
+func (e *Engine) Store() *memsys.Store { return e.sys.Store() }
 
 // Result reports one indirect operation.
 type Result struct {
 	Cycles         uint64   // total modeled latency
 	BroadcastCycle uint64   // cycles spent broadcasting addresses (2/cycle)
-	BankCycles     []uint64 // per-bank service time
+	BankCycles     []uint64 // per-bank service time (device read/write latency cycles)
 	StageCycles    uint64   // line transfer back (or in) over the bus
 	Data           []uint32 // gathered data (nil for scatters)
 }
@@ -142,96 +150,46 @@ func expand(v core.Vector) []uint32 {
 	return out
 }
 
-// run models one parallel access: claim by bit mask, per-bank greedy
-// SDRAM service, merge. isWrite when data != nil.
+// run executes one indexed vector command on the pipeline. isWrite when
+// data != nil. The command's base is zero so the index list carries the
+// complete word addresses, which is exactly the broadcast the paper
+// describes.
 func (e *Engine) run(addrs []uint32, data []uint32) (Result, error) {
 	if len(addrs) == 0 {
 		return Result{}, fmt.Errorf("indirect: empty address list")
 	}
+	cmd := memsys.VectorCmd{
+		Op:  memsys.Read,
+		V:   core.Vector{Base: 0, Stride: 0, Length: uint32(len(addrs))},
+		Idx: addrs,
+	}
+	if data != nil {
+		cmd.Op = memsys.Write
+		cmd.Data = data
+	}
+	rr, err := e.sys.Run(memsys.Trace{Cmds: []memsys.VectorCmd{cmd}})
+	if err != nil {
+		return Result{}, fmt.Errorf("indirect: %w", err)
+	}
 	res := Result{
-		BroadcastCycle: uint64(len(addrs)+1) / 2, // two addresses per bus cycle
+		Cycles: rr.Cycles,
+		// The pipeline charges the index-list broadcast at two addresses
+		// per bus cycle; for a single command this is exactly the
+		// historical (n+1)/2.
+		BroadcastCycle: rr.Stats.IndexBusCycles,
 		BankCycles:     make([]uint64, e.cfg.Banks),
 		StageCycles:    1 + uint64(len(addrs)+1)/2,
 	}
+	// Session hardware (and its device counters) is rewound on every
+	// Run, so the post-run stats are this operation's alone.
+	for b, ds := range e.sys.DeviceStats() {
+		if b < len(res.BankCycles) {
+			res.BankCycles[b] = ds.ReadLatencyCycles + ds.WriteLatencyCycles
+		}
+	}
 	if data == nil {
-		res.Data = make([]uint32, len(addrs))
+		// Result buffers are reused across Runs on one System: copy.
+		res.Data = append([]uint32(nil), rr.ReadData[0]...)
 	}
-	// Claim: bank b takes address a iff DecodeBank(a) == b — the
-	// "simple bit-mask operation".
-	claims := make([][]claim, e.cfg.Banks)
-	for i, a := range addrs {
-		b := e.geom.DecodeBank(a)
-		claims[b] = append(claims[b], claim{idx: i, a: a})
-	}
-	var worst uint64
-	for b := uint32(0); b < e.cfg.Banks; b++ {
-		if len(claims[b]) == 0 {
-			continue
-		}
-		cycles, err := e.serviceBank(b, claims[b], data, res.Data)
-		if err != nil {
-			return Result{}, err
-		}
-		res.BankCycles[b] = cycles
-		if cycles > worst {
-			worst = cycles
-		}
-	}
-	res.Cycles = res.BroadcastCycle + worst + res.StageCycles
 	return res, nil
-}
-
-// claim is one element a bank took from the broadcast.
-type claim struct {
-	idx int    // position in the dense line
-	a   uint32 // word address
-}
-
-// serviceBank drives a real SDRAM device with a greedy in-order open-row
-// schedule for the claimed elements and returns its busy time.
-func (e *Engine) serviceBank(bank uint32, elems []claim, wdata, out []uint32) (uint64, error) {
-	dev := sdram.New(e.cfg.SGeom, e.cfg.Timing, e.store, bank, e.cfg.Banks)
-	pending := len(elems)
-	pos := 0
-	var cycles uint64
-	for limit := 0; pending > 0; limit++ {
-		if limit > 1_000_000 {
-			return 0, fmt.Errorf("indirect: bank %d wedged", bank)
-		}
-		if pos < len(elems) {
-			el := elems[pos]
-			c := e.cfg.SGeom.Decompose(el.a >> e.geom.Log2Banks())
-			row, open := dev.OpenRow(c.IBank)
-			ready := dev.Cycle() >= dev.BankReadyAt(c.IBank)
-			switch {
-			case open && row == c.Row && ready:
-				req := sdram.Request{IBank: c.IBank, Row: c.Row, Col: c.Col, Tag: uint64(el.idx)}
-				if wdata != nil {
-					req.Cmd = sdram.Write
-					req.Data = wdata[el.idx]
-					pending--
-				} else {
-					req.Cmd = sdram.Read
-				}
-				if err := dev.Issue(req); err != nil {
-					return 0, err
-				}
-				pos++
-			case open && ready:
-				if err := dev.Issue(sdram.Request{Cmd: sdram.Precharge, IBank: c.IBank}); err != nil {
-					return 0, err
-				}
-			case !open && ready:
-				if err := dev.Issue(sdram.Request{Cmd: sdram.Activate, IBank: c.IBank, Row: c.Row}); err != nil {
-					return 0, err
-				}
-			}
-		}
-		for _, rr := range dev.Tick() {
-			out[rr.Tag] = rr.Data
-			pending--
-		}
-		cycles++
-	}
-	return cycles, nil
 }

@@ -1,0 +1,180 @@
+// Indexed workloads: gather, scatter and CSR sparse matrix-vector
+// multiply, built from the first-class indexed command kind
+// (memsys.VectorCmd.Idx). They follow the paper's two-phase Section 7
+// shape — a base-stride read of the indirection vector, then the
+// indexed access whose index list that read resolves — with the index
+// lists pregenerated deterministically so traces stay pure data and
+// end-to-end verification stays exact.
+
+package kernels
+
+import (
+	"pva/internal/core"
+	"pva/internal/memsys"
+)
+
+// Indexed returns the indexed-command workloads. They are deliberately
+// not part of All(): the eight strided kernels are the paper's Table 2
+// evaluation set and pin the golden sweep results.
+func Indexed() []Kernel {
+	return []Kernel{
+		{Name: "gather", Vectors: 3, Build: buildGather},
+		{Name: "scatter", Vectors: 3, Build: buildScatter},
+		{Name: "spmv", Vectors: 4, Build: buildSpMV},
+	}
+}
+
+// mix is a splitmix64-style finalizer: the deterministic source of every
+// index list, keyed by experimental point so distinct strides and
+// alignments explore distinct (but reproducible) access patterns.
+func mix(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// idxSpread is the half-open bound on index offsets: the footprint a
+// strided walk of the same parameters would cover, clamped to half the
+// vector region so table+offset never escapes the table's region. The
+// stride knob thus controls indexed locality the same way it controls
+// strided locality — larger strides spread the claims over more rows.
+func (p Params) idxSpread() uint64 {
+	spread := uint64(p.Stride) * uint64(p.Elements)
+	if spread < uint64(p.Machine.LineWords) {
+		spread = uint64(p.Machine.LineWords)
+	}
+	if spread > regionWords/2 {
+		spread = regionWords / 2
+	}
+	return spread
+}
+
+// idxChunk builds the k-th line-sized index list for the kernel's
+// indexed accesses: LineWords uniform draws over the spread.
+func (p Params) idxChunk(kernel uint64, k uint32) []uint32 {
+	l := p.Machine.LineWords
+	spread := p.idxSpread()
+	out := make([]uint32, l)
+	for i := uint32(0); i < l; i++ {
+		seed := kernel<<48 | uint64(p.Stride)<<32 | uint64(p.Alignment)<<28 | uint64(k)<<16 | uint64(i)
+		out[i] = uint32(mix(seed) % spread)
+	}
+	return out
+}
+
+// gather: y[i] = table[idx[i]]. Phase one reads the indirection vector
+// (a strided command over the idx region); phase two is the indexed
+// table read its completion gates; the write streams the gathered line
+// out.
+func buildGather(p Params) memsys.Trace {
+	mustValidate(p)
+	idxB, table, y := p.Base(0), p.Base(1), p.Base(2)
+	var cmds []memsys.VectorCmd
+	l := p.Machine.LineWords
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(idxB, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op:        memsys.Read,
+			V:         core.Vector{Base: table, Stride: 0, Length: l},
+			Idx:       p.idxChunk(1, k),
+			DependsOn: []int{r},
+		})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: p.chunk(y, k),
+			DependsOn: []int{r + 1},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[0] },
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// scatter: table[idx[i]] = x[i], the write dual: the indexed write
+// carries the strided read's line to scattered table slots.
+func buildScatter(p Params) memsys.Trace {
+	mustValidate(p)
+	idxB, x, table := p.Base(0), p.Base(1), p.Base(2)
+	var cmds []memsys.VectorCmd
+	l := p.Machine.LineWords
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(idxB, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: p.chunk(x, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op:        memsys.Write,
+			V:         core.Vector{Base: table, Stride: 0, Length: l},
+			Idx:       p.idxChunk(2, k),
+			DependsOn: []int{r, r + 1},
+			Compute:   func(deps [][]uint32) []uint32 { return deps[1] },
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}
+
+// spmvCols generates the CSR column-index stream: row lengths drawn from
+// a squared-uniform (power-law-ish, most rows short, a heavy tail of
+// long rows) distribution in [1, 64], columns strictly laid out in
+// ascending order within each row the way CSR stores them. The stream is
+// flattened to exactly Elements nonzeros.
+func (p Params) spmvCols() []uint32 {
+	spread := p.idxSpread()
+	cols := make([]uint32, 0, p.Elements)
+	var seed uint64 = uint64(p.Stride)<<32 | uint64(p.Alignment)
+	next := func() uint64 { seed = mix(seed); return seed }
+	for uint32(len(cols)) < p.Elements {
+		r := next() % 64
+		rowLen := 1 + r*r/64 // [1, 64], skewed short
+		c := next() % spread
+		gap := 1 + spread/(rowLen*4)
+		for j := uint64(0); j < rowLen && uint32(len(cols)) < p.Elements; j++ {
+			if c >= spread {
+				c = spread - 1
+			}
+			cols = append(cols, uint32(c))
+			c += 1 + next()%gap
+		}
+	}
+	return cols
+}
+
+// spmv: one CSR sparse matrix-vector product step per nonzero:
+// prod[i] = vals[i] * x[cols[i]]. The trace walks the nonzeros in
+// 32-element chunks: contiguous (stride-1) reads of the vals and cols
+// arrays, the indexed gather of x at the chunk's column indices, and a
+// contiguous write of the partial products. Row reduction happens in
+// registers and adds no memory traffic.
+func buildSpMV(p Params) memsys.Trace {
+	mustValidate(p)
+	vals, colsB, x, prod := p.Base(0), p.Base(1), p.Base(2), p.Base(3)
+	cols := p.spmvCols()
+	var cmds []memsys.VectorCmd
+	l := p.Machine.LineWords
+	unit := func(base, k uint32) core.Vector {
+		return core.Vector{Base: base + k*l, Stride: 1, Length: l}
+	}
+	for k := uint32(0); k < p.iterations(); k++ {
+		r := len(cmds)
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: unit(vals, k)})
+		cmds = append(cmds, memsys.VectorCmd{Op: memsys.Read, V: unit(colsB, k)})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op:        memsys.Read,
+			V:         core.Vector{Base: x, Stride: 0, Length: l},
+			Idx:       cols[k*l : (k+1)*l],
+			DependsOn: []int{r + 1},
+		})
+		cmds = append(cmds, memsys.VectorCmd{
+			Op: memsys.Write, V: unit(prod, k),
+			DependsOn: []int{r, r + 2},
+			Compute: func(deps [][]uint32) []uint32 {
+				v, xs := deps[0], deps[1]
+				out := make([]uint32, len(v))
+				for i := range out {
+					out[i] = v[i] * xs[i]
+				}
+				return out
+			},
+		})
+	}
+	return memsys.Trace{Cmds: cmds}
+}

@@ -16,6 +16,7 @@ package kernels
 
 import (
 	"fmt"
+	"strings"
 
 	"pva/internal/core"
 	"pva/internal/memsys"
@@ -161,14 +162,33 @@ func All() []Kernel {
 	}
 }
 
-// ByName returns the kernel with the given name.
+// Names lists every known kernel name: the strided evaluation set
+// followed by the indexed workloads.
+func Names() []string {
+	var out []string
+	for _, k := range All() {
+		out = append(out, k.Name)
+	}
+	for _, k := range Indexed() {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// ByName returns the kernel with the given name, searching the strided
+// evaluation set and the indexed workloads.
 func ByName(name string) (Kernel, error) {
 	for _, k := range All() {
 		if k.Name == name {
 			return k, nil
 		}
 	}
-	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+	for _, k := range Indexed() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q (valid: %s)", name, strings.Join(Names(), ", "))
 }
 
 // chunk returns the command vector for the k-th line-sized piece of the

@@ -40,11 +40,45 @@ func (o Op) String() string {
 	}
 }
 
-// VectorCmd is one vector bus command: a base-stride vector plus the
-// dataflow needed to execute it.
+// CmdKind distinguishes the two access-pattern shapes a vector command
+// can carry: the paper's base-stride vectors and the Section 7
+// vector-indirect extension's explicit index lists.
+type CmdKind uint8
+
+const (
+	// KindStrided is a base-stride command: element i at V.Addr(i).
+	KindStrided CmdKind = iota
+	// KindIndexed is an indexed gather/scatter: element i at
+	// V.Base + Idx[i].
+	KindIndexed
+)
+
+// String implements fmt.Stringer.
+func (k CmdKind) String() string {
+	switch k {
+	case KindStrided:
+		return "strided"
+	case KindIndexed:
+		return "indexed"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// VectorCmd is one vector bus command: a base-stride vector or an
+// explicit index list, plus the dataflow needed to execute it.
 type VectorCmd struct {
 	Op Op
 	V  core.Vector
+
+	// Idx, when non-nil, makes this an indexed (vector-indirect)
+	// command: element i lives at word address V.Base + Idx[i], the
+	// Section 7 scatter/gather shape. An indexed command must carry
+	// V.Stride == 0 and exactly V.Length indices; V.Length keeps
+	// driving every piece of sizing logic, so the strided machinery is
+	// untouched by the kind. The slice is read by the memory system
+	// until the command retires — callers must not mutate it in flight.
+	Idx []uint32
 
 	// DependsOn lists indices of earlier commands in the trace whose
 	// completion must precede this command's issue. For writes these are
@@ -61,6 +95,27 @@ type VectorCmd struct {
 
 	// Data is the preset dense line for writes without a Compute.
 	Data []uint32
+}
+
+// Kind reports the command's access-pattern shape.
+func (c *VectorCmd) Kind() CmdKind {
+	if c.Idx != nil {
+		return KindIndexed
+	}
+	return KindStrided
+}
+
+// Indexed reports whether the command carries an explicit index list.
+func (c *VectorCmd) Indexed() bool { return c.Idx != nil }
+
+// Addr returns the word address of element i under either kind:
+// V.Base + Idx[i] for indexed commands, V.Addr(i) for base-stride.
+// Like core.Vector.Addr, the sum wraps modulo 2^32.
+func (c *VectorCmd) Addr(i uint32) uint32 {
+	if c.Idx != nil {
+		return c.V.Base + c.Idx[i]
+	}
+	return c.V.Addr(i)
 }
 
 // Trace is a program-order sequence of vector commands.
@@ -86,6 +141,14 @@ func (t Trace) Validate() error {
 func ValidateCmd(c VectorCmd, i int) error {
 	if c.V.Length == 0 {
 		return fmt.Errorf("memsys: cmd %d has zero length", i)
+	}
+	if c.Idx != nil {
+		if c.V.Stride != 0 {
+			return fmt.Errorf("memsys: indexed cmd %d carries stride %d (must be 0)", i, c.V.Stride)
+		}
+		if uint32(len(c.Idx)) != c.V.Length {
+			return fmt.Errorf("memsys: indexed cmd %d has %d indices, want %d", i, len(c.Idx), c.V.Length)
+		}
 	}
 	for _, d := range c.DependsOn {
 		if d < 0 || d >= i {
@@ -134,6 +197,17 @@ type Stats struct {
 	ReadLatencyCycles  uint64 `json:"read_latency_cycles"`
 	WriteLatencyCycles uint64 `json:"write_latency_cycles"`
 
+	// Indexed-command counters (all zero on a purely base-stride
+	// trace).
+	IndexBusCycles  uint64 `json:"index_bus_cycles"` // bus data cycles spent broadcasting index lists
+	IndexedElements uint64 `json:"indexed_elements"` // elements moved by indexed commands
+	// IndexedMaxBankClaim sums, over every (indexed command, channel)
+	// broadcast, the largest per-bank element claim — the serialization
+	// floor of that broadcast. Dividing by IndexedElements yields the
+	// claim-imbalance ratio (1/Banks is perfectly balanced, 1 is fully
+	// serialized on one bank).
+	IndexedMaxBankClaim uint64 `json:"indexed_max_bank_claim"`
+
 	// Fault-injection counters (all zero when the run's fault.Plan is
 	// the zero value).
 	CorrectedECC     uint64 `json:"corrected_ecc"`     // single-bit read errors corrected by SEC-DED
@@ -163,6 +237,9 @@ func (s *Stats) Merge(o Stats) {
 	s.PartitionStalls += o.PartitionStalls
 	s.ReadLatencyCycles += o.ReadLatencyCycles
 	s.WriteLatencyCycles += o.WriteLatencyCycles
+	s.IndexBusCycles += o.IndexBusCycles
+	s.IndexedElements += o.IndexedElements
+	s.IndexedMaxBankClaim += o.IndexedMaxBankClaim
 	s.CorrectedECC += o.CorrectedECC
 	s.UncorrectedECC += o.UncorrectedECC
 	s.ECCRetries += o.ECCRetries

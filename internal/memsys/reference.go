@@ -30,7 +30,11 @@ func (r *Reference) Run(t Trace) (Result, error) {
 	for i, c := range t.Cmds {
 		switch c.Op {
 		case Read:
-			lines[i] = r.store.Gather(c.V)
+			if c.Indexed() {
+				lines[i] = r.store.GatherAt(c.V.Base, c.Idx)
+			} else {
+				lines[i] = r.store.Gather(c.V)
+			}
 			res.ReadData[i] = lines[i]
 		case Write:
 			data, err := WriteData(c, lines)
@@ -38,7 +42,11 @@ func (r *Reference) Run(t Trace) (Result, error) {
 				return Result{}, fmt.Errorf("memsys: cmd %d: %w", i, err)
 			}
 			lines[i] = data
-			r.store.Scatter(c.V, data)
+			if c.Indexed() {
+				r.store.ScatterAt(c.V.Base, c.Idx, data)
+			} else {
+				r.store.Scatter(c.V, data)
+			}
 		}
 	}
 	return res, nil

@@ -237,3 +237,22 @@ func (s *Store) Scatter(v core.Vector, data []uint32) {
 		s.Write(v.Addr(i), data[i])
 	}
 }
+
+// GatherAt reads the dense line of an indexed gather: element i of the
+// result is the word at base + idx[i] (wrapping modulo 2^32).
+func (s *Store) GatherAt(base uint32, idx []uint32) []uint32 {
+	out := make([]uint32, len(idx))
+	for i, off := range idx {
+		out[i] = s.Read(base + off)
+	}
+	return out
+}
+
+// ScatterAt writes the dense line data to the indexed addresses
+// base + idx[i]. When indices collide, later elements win — the same
+// issue-order rule Scatter applies to self-overlapping vectors.
+func (s *Store) ScatterAt(base uint32, idx []uint32, data []uint32) {
+	for i := 0; i < len(idx) && i < len(data); i++ {
+		s.Write(base+idx[i], data[i])
+	}
+}

@@ -230,6 +230,28 @@ func (s *System) Name() string {
 // Peek implements memsys.System.
 func (s *System) Peek(a uint32) uint32 { return s.store.Read(a) }
 
+// Store exposes the system's backing word store. Callers may seed or
+// audit memory contents between runs; touching it while a session is
+// pumping races with the devices.
+func (s *System) Store() *memsys.Store { return s.store }
+
+// DeviceStats returns every bank controller's device counters in flat
+// channel*Banks+bank order, for the current session's hardware — nil
+// before the first Open/Run. The indirect wrapper uses it to report
+// per-bank activity.
+func (s *System) DeviceStats() []sdram.Stats {
+	if s.ses == nil {
+		return nil
+	}
+	out := make([]sdram.Stats, 0, int(s.cfg.Channels)*int(s.cfg.Banks))
+	for _, row := range s.ses.fe.bcs {
+		for _, bc := range row {
+			out = append(out, bc.Device().Stats())
+		}
+	}
+	return out
+}
+
 // Snapshot is a copy-on-write checkpoint of a System: its configuration
 // plus an immutable image of the memory contents at capture time. A
 // Snapshot is safe to share across goroutines; any number of Systems
@@ -315,6 +337,12 @@ type chanState struct {
 	fbIdxs   []uint32 // element indices re-routed through the fallback engine
 	fbDoneAt uint64   // cycle the fallback finishes this command's share
 	fbDone   bool     // fallback complete (vacuously true when fbIdxs is empty)
+
+	// idxMax is, for an indexed command, the largest per-bank element
+	// claim on this channel — the broadcast's serialization floor,
+	// accumulated into Stats.IndexedMaxBankClaim at delivery. Zero for
+	// base-stride commands.
+	idxMax uint32
 }
 
 // live returns the element count serviced by this channel's live bank
@@ -332,6 +360,14 @@ type cmdState struct {
 	completedAt uint64
 	line        []uint32    // read: gathered data; write: staged data
 	ch          []chanState // per channel
+
+	// lo and hi bound the command's word addresses, computed once at
+	// admission: the conflict guards intersect these ranges instead of
+	// re-deriving them per scan. For base-stride commands the bounds
+	// reproduce the historical overlaps() arithmetic exactly (no modular
+	// wrap); for indexed commands they are the min/max of the resolved
+	// element addresses.
+	lo, hi uint64
 }
 
 // Run implements memsys.System: a thin batch wrapper over a streaming
@@ -424,6 +460,17 @@ type frontEnd struct {
 	nacks      []uint64 // per channel: broadcasts NACKed
 	retries    []uint64 // per channel: broadcasts delivered on a retransmission
 	fallbk     []uint64 // per channel: elements serviced by the fallback
+
+	// Indexed-command accounting, per channel, charged at successful
+	// broadcast delivery (retransmissions never double-count).
+	idxBus      []uint64 // bus data cycles carrying index lists
+	idxElems    []uint64 // elements moved by indexed commands
+	idxMaxClaim []uint64 // summed per-broadcast max per-bank claims
+
+	// claimScratch is the indexed channel dispatcher's per-(channel,
+	// bank) claim histogram, allocated once (C*M entries) and re-zeroed
+	// per indexed command.
+	claimScratch []uint32
 
 	// pending is set while an Issue call is pumping the engine under
 	// backpressure: a command is waiting at the admission gate. The
@@ -544,6 +591,9 @@ func (fe *frontEnd) reset() {
 		fe.nacks[ch] = 0
 		fe.retries[ch] = 0
 		fe.fallbk[ch] = 0
+		fe.idxBus[ch] = 0
+		fe.idxElems[ch] = 0
+		fe.idxMaxClaim[ch] = 0
 	}
 }
 
@@ -565,20 +615,61 @@ func (fe *frontEnd) accept(c memsys.VectorCmd, now uint64) int {
 	i := len(fe.cmds)
 	C := int(fe.cfg.Channels)
 	M := int(fe.cfg.Banks)
-	fe.hitScratch = addrmap.AppendSplit(fe.hitScratch[:0], fe.cfg.Decoder, c.V)
-	hits := fe.hitScratch
 	st := cmdState{acceptedAt: now, ch: fe.getChans(C)}
-	for ch := 0; ch < C; ch++ {
-		st.ch[ch].count = hits[ch].Count
-		st.ch[ch].active = hits[ch].Count > 0
-		st.ch[ch].fbDone = true // until fallback elements are found below
+	if c.Indexed() {
+		// Indexed commands have no closed-form channel split: decode
+		// every element once, building the per-(channel, bank) claim
+		// histogram that yields each channel's element count, its
+		// imbalance figure, and the command's address bounds.
+		scratch := fe.claimScratch
+		for j := range scratch {
+			scratch[j] = 0
+		}
+		lo, hi := uint64(^uint64(0)), uint64(0)
+		for e := uint32(0); e < c.V.Length; e++ {
+			a := c.Addr(e)
+			if uint64(a) < lo {
+				lo = uint64(a)
+			}
+			if uint64(a) > hi {
+				hi = uint64(a)
+			}
+			co := fe.cfg.Decoder.Decode(a)
+			scratch[int(co.Channel)*M+int(co.Bank)]++
+		}
+		st.lo, st.hi = lo, hi
+		for ch := 0; ch < C; ch++ {
+			var n, mx uint32
+			for b := 0; b < M; b++ {
+				if k := scratch[ch*M+b]; k > 0 {
+					n += k
+					if k > mx {
+						mx = k
+					}
+				}
+			}
+			st.ch[ch].count = n
+			st.ch[ch].active = n > 0
+			st.ch[ch].idxMax = mx
+			st.ch[ch].fbDone = true // until fallback elements are found below
+		}
+	} else {
+		fe.hitScratch = addrmap.AppendSplit(fe.hitScratch[:0], fe.cfg.Decoder, c.V)
+		hits := fe.hitScratch
+		st.lo = uint64(c.V.Base)
+		st.hi = uint64(c.V.Base) + uint64(c.V.Stride)*uint64(c.V.Length-1)
+		for ch := 0; ch < C; ch++ {
+			st.ch[ch].count = hits[ch].Count
+			st.ch[ch].active = hits[ch].Count > 0
+			st.ch[ch].fbDone = true // until fallback elements are found below
+		}
 	}
 	if fe.anyOffline {
 		// Degraded-mode routing: enumerate the elements owned by offline
 		// bank controllers; they re-route through the serial fallback
 		// engine and never reach a live bank.
 		for e := uint32(0); e < c.V.Length; e++ {
-			co := fe.cfg.Decoder.Decode(c.V.Addr(e))
+			co := fe.cfg.Decoder.Decode(c.Addr(e))
 			if fe.offline[int(co.Channel)*M+int(co.Bank)] {
 				cs := &st.ch[co.Channel]
 				cs.fbIdxs = append(cs.fbIdxs, e)
@@ -813,10 +904,19 @@ func (fe *frontEnd) Step(now uint64) error {
 							return err
 						}
 					}
-					bc.ObserveCommand(c.Op, c.V, st.txn)
+					if c.Indexed() {
+						bc.ObserveIndexed(c.Op, c.V, c.Idx, st.txn)
+					} else {
+						bc.ObserveCommand(c.Op, c.V, st.txn)
+					}
 					fe.groups[ch].Wake(fe.gidx[ch][b], now)
 				}
 				cs.broadcastDone = true
+				if c.Indexed() {
+					fe.idxBus[ch] += uint64(dataCycles(cs.count))
+					fe.idxElems[ch] += uint64(cs.count)
+					fe.idxMaxClaim[ch] += uint64(cs.idxMax)
+				}
 				fe.progress(now)
 				if !cs.fbDone {
 					// Queue the degraded share on the channel's serial
@@ -1000,17 +1100,27 @@ func (fe *frontEnd) scheduleChannel(ch int, now uint64) error {
 				fe.lines[i] = buf
 			}
 		}
+		// An indexed command's tenure additionally streams the index
+		// list over the bus — two 32-bit indices per cycle, the Section
+		// 7 protocol — before the banks can claim their elements, so
+		// the broadcast lands at the end of the index burst.
+		idxCycles := uint64(0)
+		if c.Indexed() {
+			idxCycles = uint64(dataCycles(cs.count))
+		}
 		if c.Op == memsys.Read {
+			burst := 1 + idxCycles
 			at := chBus.Free(now, bus.Controller)
-			if err := chBus.Reserve(at, 1, bus.Controller); err != nil {
+			if err := chBus.Reserve(at, burst, bus.Controller); err != nil {
 				return err
 			}
 			cs.reserved = true
-			cs.broadcastAt = at
+			cs.broadcastAt = at + burst - 1
 		} else {
-			// STAGE_WRITE command + this channel's data burst + VEC_WRITE
-			// broadcast, all controller-driven and contiguous.
-			burst := uint64(1 + dataCycles(cs.count) + 1)
+			// STAGE_WRITE command + this channel's index burst (indexed
+			// commands only) + data burst + VEC_WRITE broadcast, all
+			// controller-driven and contiguous.
+			burst := 1 + idxCycles + uint64(dataCycles(cs.count)) + 1
 			at := chBus.Free(now, bus.Controller)
 			if err := chBus.Reserve(at, burst, bus.Controller); err != nil {
 				return err
@@ -1118,11 +1228,11 @@ func (fe *frontEnd) runFallback(i int, st *cmdState, ch int) {
 			st.line = fe.getLine(c.V.Length)
 		}
 		for _, e := range cs.fbIdxs {
-			st.line[e] = fe.store.Read(c.V.Addr(e))
+			st.line[e] = fe.store.Read(c.Addr(e))
 		}
 	} else {
 		for _, e := range cs.fbIdxs {
-			fe.store.Write(c.V.Addr(e), st.line[e])
+			fe.store.Write(c.Addr(e), st.line[e])
 		}
 	}
 	fe.fallbk[ch] += uint64(len(cs.fbIdxs))
@@ -1205,7 +1315,7 @@ func (fe *frontEnd) eligible(i int) (bool, error) {
 			continue
 		}
 		ec := &fe.cmds[e]
-		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
+		if (ec.Op == memsys.Write || c.Op == memsys.Write) && fe.overlaps(e, i) {
 			return false, nil
 		}
 	}
@@ -1233,19 +1343,20 @@ func (fe *frontEnd) olderConflictPending(i, ch int) bool {
 			continue
 		}
 		ec := &fe.cmds[e]
-		if (ec.Op == memsys.Write || c.Op == memsys.Write) && overlaps(ec.V, c.V) {
+		if (ec.Op == memsys.Write || c.Op == memsys.Write) && fe.overlaps(e, i) {
 			return true
 		}
 	}
 	return false
 }
 
-// overlaps conservatively tests whether two vectors might touch a common
-// word, by bounding-range intersection.
-func overlaps(a, b core.Vector) bool {
-	aEnd := uint64(a.Base) + uint64(a.Stride)*uint64(a.Length-1)
-	bEnd := uint64(b.Base) + uint64(b.Stride)*uint64(b.Length-1)
-	return uint64(a.Base) <= bEnd && uint64(b.Base) <= aEnd
+// overlaps conservatively tests whether two admitted commands might
+// touch a common word, by intersecting the address bounds accept
+// computed (the historical strided arithmetic, min/max of the resolved
+// addresses for indexed commands).
+func (fe *frontEnd) overlaps(a, b int) bool {
+	sa, sb := &fe.state[a], &fe.state[b]
+	return sa.lo <= sb.hi && sb.lo <= sa.hi
 }
 
 // dataCycles is the number of bus data cycles a line of n words needs:

@@ -250,6 +250,11 @@ func (s *System) Open() (*Session, error) {
 		retries:    make([]uint64, C),
 		fallbk:     make([]uint64, C),
 		obsBuf:     obsBuf,
+
+		idxBus:       make([]uint64, C),
+		idxElems:     make([]uint64, C),
+		idxMaxClaim:  make([]uint64, C),
+		claimScratch: make([]uint32, C*M),
 	}
 	eng := engine.New(engine.Config{
 		MaxCycles:       s.cfg.MaxCycles,
@@ -432,6 +437,9 @@ func (s *Session) Result() (memsys.Result, error) {
 		cs.BusNACKs = s.fe.nacks[ch]
 		cs.BusRetries = s.fe.retries[ch]
 		cs.DegradedElements = s.fe.fallbk[ch]
+		cs.IndexBusCycles = s.fe.idxBus[ch]
+		cs.IndexedElements = s.fe.idxElems[ch]
+		cs.IndexedMaxBankClaim = s.fe.idxMaxClaim[ch]
 		res.Stats.Merge(*cs)
 	}
 	return res, nil

@@ -131,6 +131,26 @@ func SplitVector(t *TLB, v core.Vector) ([]core.Vector, error) {
 	return out, nil
 }
 
+// TranslateIndexed translates a virtual-space indexed access (base plus
+// an explicit index list) into physical element addresses. Unlike
+// SplitVector there is no division-free shortcut: an index list gives
+// the controller no structure to exploit, so every element pays its own
+// mmc_tlb_lookup (the traffic shows up in TLB.Lookups, which is exactly
+// the cost Section 4.3.2's strided path avoids). The returned slice can
+// be used directly as a VectorCmd index list with Base 0, since each
+// entry is a complete physical word address.
+func TranslateIndexed(t *TLB, base uint32, idx []uint32) ([]uint32, error) {
+	out := make([]uint32, len(idx))
+	for i, off := range idx {
+		phys, _, ok := t.Lookup(base + off)
+		if !ok {
+			return nil, fmt.Errorf("vcmd: no mapping for virtual word address %d", base+off)
+		}
+		out[i] = phys
+	}
+	return out, nil
+}
+
 // Identity returns a TLB that identity-maps [0, words) with the given
 // superpage size — the common testing/benchmark configuration where all
 // application vectors live in already-created superpages.

@@ -142,8 +142,12 @@ func FuzzStreamingEquivalence(f *testing.F) {
 	f.Add(uint8(0), uint8(1), uint8(0), []byte{0x00, 0x01, 0x02})
 	f.Add(uint8(3), uint8(19), uint8(4), []byte{0xFF, 0x80, 0x00, 0x40})
 	f.Add(uint8(6), uint8(8), uint8(2), []byte{0x11, 0x22, 0x33, 0x44, 0x55})
+	// The indexed workloads (gather, scatter, spmv follow the eight
+	// strided kernels in the combined list).
+	f.Add(uint8(8), uint8(4), uint8(1), []byte{0xC0, 0x80, 0x00})
+	f.Add(uint8(10), uint8(2), uint8(3), []byte{0xFF, 0x41})
 	f.Fuzz(func(t *testing.T, kIdx, stride, align uint8, plan []byte) {
-		ks := kernels.All()
+		ks := append(kernels.All(), kernels.Indexed()...)
 		k := ks[int(kIdx)%len(ks)]
 		p := kernels.PaperParams(uint32(stride)%24+1, int(align)%kernels.Alignments)
 		p.Elements = 128
