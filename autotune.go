@@ -1,0 +1,86 @@
+// Address-map autotuning API: re-exports of the internal/autotune
+// searcher and the per-kernel harness experiment, so downstream users
+// can tune a decoder for their own workload and plug the winning spec
+// straight into Config.AddrMap.
+
+package pva
+
+import (
+	"io"
+
+	"pva/internal/autotune"
+	"pva/internal/harness"
+	"pva/internal/kernels"
+)
+
+// AutotuneOptions tunes the decoder search; the zero value searches the
+// paper's single-channel 16-bank shape with a small deterministic
+// budget. Equal seeds give bit-identical results at any worker count.
+type AutotuneOptions = autotune.Options
+
+// AutotuneResult reports a search: the winning candidate (whose Spec
+// plugs into Config.AddrMap, -addrmap and SweepOptions.AddrMap), the
+// fully evaluated survivors, and the fixed-decoder baselines measured
+// on the identical workload.
+type AutotuneResult = autotune.Result
+
+// AutotuneCandidate is one evaluated mask set.
+type AutotuneCandidate = autotune.Candidate
+
+// AutotuneWorkload is the trace set a search optimizes for.
+type AutotuneWorkload = autotune.Workload
+
+// AutotuneKernel searches a tuned decoder for one kernel's multi-stride
+// workload. strides nil means the paper's; elements 0 means the paper's
+// 1024-element vectors.
+func AutotuneKernel(kernel string, strides []uint32, elements uint32, o AutotuneOptions) (*AutotuneResult, error) {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return nil, err
+	}
+	if strides == nil {
+		strides = harness.PaperStrides()
+	}
+	return autotune.Search(autotune.KernelWorkload(k, strides, 0, elements), o)
+}
+
+// AutotuneTrace searches a tuned decoder for an explicit recorded
+// workload, e.g. traces captured from an application.
+func AutotuneTrace(w AutotuneWorkload, o AutotuneOptions) (*AutotuneResult, error) {
+	return autotune.Search(w, o)
+}
+
+// AutotunePoint is one kernel's row of the autotuning experiment.
+type AutotunePoint = harness.AutotunePoint
+
+// Autotune runs the per-kernel autotuning experiment: each kernel's
+// multi-stride workload is searched and the tuned winner is reported
+// against the word, line and xor decoders on the identical workload.
+func Autotune(kernelNames []string, strides []uint32, elements uint32, o AutotuneOptions) ([]AutotunePoint, error) {
+	return harness.Autotune(kernelNames, strides, elements, o)
+}
+
+// RenderAutotune writes the autotuning experiment as a text table.
+func RenderAutotune(w io.Writer, points []AutotunePoint) {
+	harness.RenderAutotune(w, points)
+}
+
+// AddrMapOracle answers whether two word addresses decode to the same
+// (channel, bank) unit — the observation the decoder recoverer needs.
+type AddrMapOracle = autotune.Oracle
+
+// AddrMapTimingOracle classifies address pairs by measuring cycle
+// counts of an opaque system: the reverse-engineering mode that works
+// from observed per-address timings alone.
+type AddrMapTimingOracle = autotune.TimingOracle
+
+// RecoverAddrMap reconstructs an unknown decoder's XOR component masks
+// from a same-unit oracle and returns its canonical "tuned:..." spec.
+// probeBits bounds the bank-word bits probed (0: all of them).
+func RecoverAddrMap(o AddrMapOracle, channels, banks uint32, probeBits uint) (string, error) {
+	d, err := autotune.Recover(o, channels, banks, probeBits)
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
+}

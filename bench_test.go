@@ -431,3 +431,35 @@ func BenchmarkSweepWarmStart(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAutotuneSearch is the decoder-search ladder on one small
+// fixed budget. ladder/pooled is the default two-rung search with
+// survivor evaluations fanned out over the engine pool; ladder/serial
+// is the same search on one goroutine (the candidate-evaluation
+// scaling); fullsim is the identical budget with the surrogate rung
+// disabled, every greedy step a full simulation — the cost the
+// surrogate prune saves (the benchstat gate tracks the pooled search).
+func BenchmarkAutotuneSearch(b *testing.B) {
+	base := AutotuneOptions{Seed: 1, Restarts: 2, MaskBits: 8}
+	serial := base
+	serial.Workers = 1
+	fullsim := base
+	fullsim.DisableSurrogate = true
+	for _, c := range []struct {
+		name string
+		o    AutotuneOptions
+	}{
+		{"ladder/pooled", base},
+		{"ladder/serial", serial},
+		{"fullsim", fullsim},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AutotuneKernel("copy", []uint32{1, 19}, 64, c.o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

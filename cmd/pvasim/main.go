@@ -29,7 +29,7 @@ func main() {
 		elements = flag.Uint("elements", 1024, "elements per application vector (multiple of 32)")
 		system   = flag.String("system", "all", "pva-sdram, cacheline-serial, gathering-serial, pva-sram, or all")
 		channels = flag.Uint("channels", 1, "memory channels (power of two)")
-		addrmap  = flag.String("addrmap", "word", "address decoder: word, line, xor")
+		addrmap  = flag.String("addrmap", "word", "address decoder: word, line, xor, tuned:<mask,mask,...>")
 		jsonOut  = flag.Bool("json", false, "emit measured points as JSON instead of the table")
 
 		tech       = flag.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")

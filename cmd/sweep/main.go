@@ -12,6 +12,8 @@
 //	sweep -json           # raw measured points as JSON
 //	sweep -channels 1,2,4 # channel-scaling experiment instead of figures
 //	sweep -techscaling    # device back-end ladder (SDRAM, SALP, PCM)
+//	sweep -autotune       # search a tuned address decoder per kernel
+//	sweep -autotune -seed 7 -restarts 8 -survivors 6
 //	sweep -tech salp -subarrays 4  # whole sweep on one back end
 //	sweep -journal dir    # crash-safe sweep: journal results, resume on rerun
 //	sweep -isolate        # quarantine failing cells, finish the rest
@@ -54,14 +56,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verify       = fs.Bool("verify", false, "replay every point against the functional reference")
 		workers      = fs.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial)")
 		parChan      = fs.Bool("parallel-channels", false, "tick PVA memory channels concurrently inside each cycle (bit-identical results)")
-		addrmap      = fs.String("addrmap", "word", "address decoder: word, line, xor")
+		addrmap      = fs.String("addrmap", "word", "address decoder: word, line, xor, tuned:<mask,mask,...>")
 		channelsFlag = fs.String("channels", "", "comma-separated channel counts (e.g. 1,2,4): run the channel-scaling experiment")
 		jsonOut      = fs.Bool("json", false, "emit measured points as JSON instead of the figures")
 
 		techScaling = fs.Bool("techscaling", false, "run the technology-scaling experiment across the default back-end ladder")
-		tech        = fs.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
-		subarrays   = fs.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
-		partitions  = fs.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
+
+		autotuneFlag = fs.Bool("autotune", false, "search a conflict-minimal tuned address decoder per kernel and report it against the fixed decoders")
+		seed         = fs.Uint64("seed", 0, "autotune search seed (equal seeds: bit-identical results)")
+		restarts     = fs.Int("restarts", 0, "autotune random restarts beside the word/xor landmarks (0: default)")
+		survivors    = fs.Int("survivors", 0, "autotune candidates promoted to full simulation (0: default)")
+		tech         = fs.String("tech", "", "device back end for the PVA SDRAM system: sdram, salp, pcm (default sdram)")
+		subarrays    = fs.Uint("subarrays", 0, "subarrays per internal bank (tech=salp; power of two)")
+		partitions   = fs.Uint("partitions", 0, "partitions per internal bank (tech=pcm; power of two)")
 
 		journalDir   = fs.String("journal", "", "crash-safe sweep: append results to <dir>/sweep.journal and resume completed cells on rerun (implies -isolate)")
 		isolate      = fs.Bool("isolate", false, "quarantine failing cells instead of aborting; the rest of the grid completes")
@@ -146,6 +153,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
+	if *autotuneFlag {
+		points, err := pva.Autotune(names, nil, uint32(*elements), pva.AutotuneOptions{
+			Seed:      *seed,
+			Restarts:  *restarts,
+			Survivors: *survivors,
+			Workers:   *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+		if *jsonOut {
+			return emitJSON(stdout, stderr, points)
+		}
+		pva.RenderAutotune(stdout, points)
+		fmt.Fprintf(stdout, "%d kernels in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+		return 0
+	}
 	if *techScaling {
 		points, err := pva.TechSweep(names, nil, nil, opts)
 		if err != nil {
@@ -332,6 +357,27 @@ func benchSnapshot(n int, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// The autotune searches measure the decoder-search ladder on one small
+	// fixed budget: the default two-rung search pooled and serial (the
+	// cloned-worker candidate-evaluation scaling), and the same budget
+	// with the surrogate rung disabled — every greedy step a full
+	// simulation — which is what the surrogate prune saves.
+	autotuneOpts := pva.AutotuneOptions{Seed: 1, Restarts: 2, MaskBits: 8}
+	autotuneBench := func(o pva.AutotuneOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pva.AutotuneKernel("copy", []uint32{1, 19}, 64, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	autotuneSerial := autotuneOpts
+	autotuneSerial.Workers = 1
+	autotuneFull := autotuneOpts
+	autotuneFull.DisableSurrogate = true
+
 	// The serial sweep is the paper's full 960-point cross product on one
 	// goroutine, warm-starting each cell from the copy-on-write
 	// post-construction checkpoint.
@@ -365,6 +411,9 @@ func benchSnapshot(n int, stdout, stderr io.Writer) int {
 		{"ParallelTickLoop", parallel},
 		{"Gather", gather},
 		{"SweepSerial", sweepSerial},
+		{"AutotuneSearch", autotuneBench(autotuneOpts)},
+		{"AutotuneSearchSerial", autotuneBench(autotuneSerial)},
+		{"AutotuneFullSimOnly", autotuneBench(autotuneFull)},
 	} {
 		r := testing.Benchmark(bm.fn)
 		snapshot.Benchmarks = append(snapshot.Benchmarks, entry{

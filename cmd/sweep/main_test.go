@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pva"
 )
 
 // sweepRun invokes the CLI entry point in-process.
@@ -87,6 +90,53 @@ func TestSweepRejectsBadPolicyFlags(t *testing.T) {
 		code, _, stderr := sweepRun(args...)
 		if code != 2 {
 			t.Errorf("%v: exit %d, want 2\nstderr: %s", args, code, stderr)
+		}
+	}
+}
+
+// TestSweepAutotuneCLI runs a tiny budgeted decoder search end to end
+// through the CLI: the tuned winner must beat or match every fixed
+// decoder on the searched workload (the landmarks are always promoted,
+// so this is structural), carry a parseable tuned spec, and print the
+// rendered table on the text path. Bad decoder specs passed to
+// -addrmap must be rejected up front with the valid-name list.
+func TestSweepAutotuneCLI(t *testing.T) {
+	code, stdout, stderr := sweepRun("-autotune", "-kernels", "scale", "-elements", "128",
+		"-seed", "7", "-restarts", "2", "-json")
+	if code != 0 {
+		t.Fatalf("autotune exited %d\nstderr: %s", code, stderr)
+	}
+	var points []pva.AutotunePoint
+	if err := json.Unmarshal([]byte(stdout), &points); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if len(points) != 1 || points[0].Kernel != "scale" {
+		t.Fatalf("unexpected points: %+v", points)
+	}
+	p := points[0]
+	if !strings.HasPrefix(p.Spec, "tuned:") {
+		t.Errorf("winner spec %q not a tuned spec", p.Spec)
+	}
+	if p.Tuned > p.Word || p.Tuned > p.Line || p.Tuned > p.Xor {
+		t.Errorf("tuned %d lost to a fixed decoder: %+v", p.Tuned, p)
+	}
+	if _, err := pva.ParseAddrMap(p.Spec, 1); err != nil {
+		t.Errorf("winner spec does not round-trip: %v", err)
+	}
+
+	code, stdout, _ = sweepRun("-autotune", "-kernels", "scale", "-elements", "128",
+		"-seed", "7", "-restarts", "2")
+	if code != 0 || !strings.Contains(stdout, "address-map autotuning") {
+		t.Errorf("text path: code %d, output:\n%s", code, stdout)
+	}
+
+	code, _, stderr = sweepRun("-kernels", "scale", "-elements", "64", "-addrmap", "fancy")
+	if code != 2 {
+		t.Fatalf("bad -addrmap exited %d, want 2", code)
+	}
+	for _, want := range []string{`"fancy"`, "word", "line", "xor", "tuned:"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("bad-decoder error missing %q:\n%s", want, stderr)
 		}
 	}
 }

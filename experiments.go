@@ -114,8 +114,9 @@ type SweepOptions struct {
 	// Channels selects multi-channel system variants; 0 or 1 is the
 	// paper's single-channel configuration.
 	Channels uint32
-	// AddrMap names the address decoder ("word", "line", "xor"); empty
-	// means the paper's word interleave.
+	// AddrMap names the address decoder ("word", "line", "xor", or a
+	// "tuned:<mask,...>" XOR-hash spec); empty means the paper's word
+	// interleave.
 	AddrMap string
 	// Fault selects deterministic fault injection for the PVA systems in
 	// the sweep; the zero value injects nothing. The serial baselines
@@ -167,6 +168,9 @@ func (o SweepOptions) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("pva: Workers %d is negative", o.Workers)
+	}
+	if _, err := ParseAddrMap(o.AddrMap, o.Channels); err != nil {
+		return err
 	}
 	return nil
 }

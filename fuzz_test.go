@@ -2,6 +2,7 @@ package pva
 
 import (
 	"encoding/binary"
+	"fmt"
 	"testing"
 )
 
@@ -211,6 +212,60 @@ func FuzzDifferentialBaselines(f *testing.F) {
 		}
 		if res.Stats.LineFills != wantFills {
 			t.Fatalf("cacheline LineFills = %d, enumeration says %d", res.Stats.LineFills, wantFills)
+		}
+	})
+}
+
+// FuzzTunedDecoder drives random traces through PVA systems under
+// fuzzer-chosen tuned decoder masks, across the SDRAM, 4-subarray SALP
+// and 4-partition PCM back ends. The decoder permutes where words live
+// physically but must never change what a trace reads or leaves in
+// memory; any mask set the parser accepts has to be a bijection, and
+// this is where that property meets the full machine. The first 16
+// bytes of the input are the four bank-bit masks, the rest the usual
+// command records.
+func FuzzTunedDecoder(f *testing.F) {
+	seed := func(m0, m1, m2, m3 uint32, trace []byte) []byte {
+		pre := make([]byte, 16)
+		binary.LittleEndian.PutUint32(pre[0:4], m0)
+		binary.LittleEndian.PutUint32(pre[4:8], m1)
+		binary.LittleEndian.PutUint32(pre[8:12], m2)
+		binary.LittleEndian.PutUint32(pre[12:16], m3)
+		return append(pre, trace...)
+	}
+	// Zero masks (the word interleave), the xor fold, a dense random
+	// hash, and masks full of dead bits the parser must clear.
+	f.Add(seed(0, 0, 0, 0, append(seedCmd(0, 64, 19, 31), seedCmd(1, 96, 19, 31)...)))
+	f.Add(seed(0x1111111, 0x2222222, 0x4444444, 0x8888888, seedCmd(4, 64, 7, 31)))
+	f.Add(seed(0x9, 0x12, 0x24, 0x3, append(seedCmd(0, 0, 1, 31), seedCmd(3, 1<<20, 4, 15)...)))
+	f.Add(seed(0xffffffff, 0x80000001, 0xcafebabe, 0x12345678, seedCmd(0, 128, 4, 31)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16+fuzzCmdBytes {
+			t.Skip()
+		}
+		spec := fmt.Sprintf("tuned:%#x,%#x,%#x,%#x",
+			binary.LittleEndian.Uint32(data[0:4]),
+			binary.LittleEndian.Uint32(data[4:8]),
+			binary.LittleEndian.Uint32(data[8:12]),
+			binary.LittleEndian.Uint32(data[12:16]))
+		tr, ok := parseFuzzTrace(data[16:], true)
+		if !ok {
+			t.Skip()
+		}
+		sdram := DefaultConfig()
+		sdram.AddrMap = spec
+		salp := sdram
+		salp.Tech = "salp"
+		salp.SubarraysPerBank = 4
+		pcm := sdram
+		pcm.Tech = "pcm"
+		pcm.Partitions = 4
+		for _, cfg := range []Config{sdram, salp, pcm} {
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReference(t, sys, tr)
 		}
 	})
 }

@@ -7,7 +7,7 @@
 // first-class lets the simulator scale the PVA design past the paper's
 // single-channel, word-interleaved prototype.
 //
-// Three decoders are provided:
+// Four decoders are provided:
 //
 //   - WordInterleave: consecutive words round-robin first across
 //     channels, then across banks. With one channel this is exactly the
@@ -24,6 +24,10 @@
 //     is permuted by XOR-folding the device word index into the bank
 //     bits (the classic conflict-breaking bank hash). Strides that are
 //     multiples of the bank count no longer serialize on one bank.
+//   - Tuned: the generalization of XORBank with one explicit parity
+//     mask per bank bit — the full XOR-hash design space, searched per
+//     workload by internal/autotune and round-tripped through the
+//     canonical "tuned:<mask,...>" spec string (see Parse and Spec).
 //
 // All component functions are bijections on the word address space:
 // Encode is the exact inverse of Decode, which the device models rely on
@@ -88,20 +92,12 @@ type ChannelAppender interface {
 	AppendSplit(dst []core.Hit, v core.Vector) []core.Hit
 }
 
-// New returns the named decoder: "word" (the default when name is
-// empty), "line", or "xor". channels and banks must be powers of two;
-// lineWords is only consulted by "line".
+// New returns the decoder a spec names: "word" (the default when the
+// spec is empty), "line", "xor", or a "tuned:<mask,...>" XOR-hash spec.
+// channels and banks must be powers of two; lineWords is only consulted
+// by "line". New is Parse under its historical name.
 func New(name string, channels, banks, lineWords uint32) (Decoder, error) {
-	switch name {
-	case "", "word":
-		return NewWordInterleave(channels, banks)
-	case "line":
-		return NewLineInterleave(channels, banks, lineWords)
-	case "xor":
-		return NewXORBank(channels, banks)
-	default:
-		return nil, fmt.Errorf("addrmap: unknown decoder %q", name)
-	}
+	return Parse(name, channels, banks, lineWords)
 }
 
 // WordInterleave round-robins consecutive words across channels, then

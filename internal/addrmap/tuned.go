@@ -1,0 +1,223 @@
+// Tuned: the searchable XOR-hash decoder family and the canonical
+// spec-string machinery that lets any decoder round-trip through CLI
+// flags, JSON sweeps, and the crash-safe journal's config hash.
+//
+// A Tuned decoder keeps word-interleaved channels (channel = a mod C)
+// and permutes the bank within each channel by a configurable GF(2)
+// hash: bank bit j is the plain interleave bit XORed with the parity of
+// the device word index under Masks[j]. Because the perturbation
+// depends only on the bank word — never on the bank bits themselves —
+// the map is unit triangular over GF(2) and hence a bijection for every
+// mask choice, which is what makes the whole space safely searchable
+// (internal/autotune). Zero masks reproduce WordInterleave's component
+// functions exactly; the XORBank fold is the special case
+// Masks[j] = bits {j, j+m, j+2m, ...}.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"pva/internal/addr"
+	"pva/internal/core"
+)
+
+// Tuned is an XOR-hash bank decoder with explicit per-bank-bit parity
+// masks: channel = a mod C, bank word = a / (C*M), and bank bit j =
+// (plain interleave bit j) xor parity(bankWord & Masks[j]).
+type Tuned struct {
+	C, M  uint32
+	c, m  uint
+	Masks []uint32 // one mask per bank bit; selects bank-word bits
+}
+
+// NewTuned returns the tuned decoder for the given masks. Up to
+// log2(banks) masks are accepted — missing ones are zero — and mask
+// bits above the bank-word width are cleared, so equal decoders always
+// carry identical (canonical) mask slices.
+func NewTuned(channels, banks uint32, masks []uint32) (*Tuned, error) {
+	lc, err := log2(channels)
+	if err != nil {
+		return nil, fmt.Errorf("addrmap: channels: %w", err)
+	}
+	lm, err := log2(banks)
+	if err != nil {
+		return nil, fmt.Errorf("addrmap: banks: %w", err)
+	}
+	if uint(len(masks)) > lm {
+		return nil, fmt.Errorf("addrmap: tuned: %d masks for %d bank bits", len(masks), lm)
+	}
+	canon := make([]uint32, lm)
+	bwMask := uint32(1)<<(32-lc-lm) - 1
+	if lc+lm == 0 {
+		bwMask = ^uint32(0)
+	}
+	copy(canon, masks)
+	for j := range canon {
+		canon[j] &= bwMask
+	}
+	return &Tuned{C: channels, M: banks, c: lc, m: lm, Masks: canon}, nil
+}
+
+// MustTuned is NewTuned for known-good constants.
+func MustTuned(channels, banks uint32, masks []uint32) *Tuned {
+	d, err := NewTuned(channels, banks, masks)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Decoder.
+func (d *Tuned) Name() string { return "tuned" }
+
+// Channels implements Decoder.
+func (d *Tuned) Channels() uint32 { return d.C }
+
+// Banks implements Decoder.
+func (d *Tuned) Banks() uint32 { return d.M }
+
+// fold hashes the bank word down to the bank bits: bit j is the parity
+// of bw under Masks[j].
+func (d *Tuned) fold(bw uint32) uint32 {
+	var r uint32
+	for j, m := range d.Masks {
+		r |= uint32(bits.OnesCount32(bw&m)&1) << uint(j)
+	}
+	return r
+}
+
+// Decode implements Decoder.
+func (d *Tuned) Decode(a addr.Word) Coord {
+	rest := a >> d.c
+	bw := rest >> d.m
+	return Coord{
+		Channel:  a & (d.C - 1),
+		Bank:     rest&(d.M-1) ^ d.fold(bw),
+		BankWord: bw,
+	}
+}
+
+// Encode implements Decoder: the hash depends only on the bank word, so
+// the inverse re-applies it (XOR is an involution per bit).
+func (d *Tuned) Encode(c Coord) addr.Word {
+	return (c.BankWord<<d.m|c.Bank^d.fold(c.BankWord))<<d.c | c.Channel
+}
+
+// SplitVector implements ChannelSplitter: the channel function is plain
+// word interleaving (a mod C), untouched by the bank hash.
+func (d *Tuned) SplitVector(v core.Vector) []core.Hit {
+	return splitMod(d.C, v)
+}
+
+// AppendSplit implements ChannelAppender with the same closed form.
+func (d *Tuned) AppendSplit(dst []core.Hit, v core.Vector) []core.Hit {
+	return appendMod(dst, d.C, v)
+}
+
+// XORFoldMasks returns the mask set under which Tuned reproduces
+// XORBank exactly: mask j selects bank-word bits {j, j+m, j+2m, ...},
+// the repeated fold of every m-bit group into the bank bits. The
+// autotuner seeds its search with this landmark (and the zero masks,
+// which are WordInterleave).
+func XORFoldMasks(channels, banks uint32) []uint32 {
+	lc, _ := log2(channels)
+	lm, _ := log2(banks)
+	masks := make([]uint32, lm)
+	if lm == 0 {
+		return masks
+	}
+	width := 32 - lc - lm
+	for j := uint(0); j < lm; j++ {
+		var m uint32
+		for b := j; b < width; b += lm {
+			m |= 1 << b
+		}
+		masks[j] = m
+	}
+	return masks
+}
+
+// String returns the canonical spec: "tuned:" followed by one
+// lowercase-hex mask per bank bit. Parse inverts it exactly.
+func (d *Tuned) String() string {
+	var b strings.Builder
+	b.WriteString("tuned:")
+	for j, m := range d.Masks {
+		if j > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("0x")
+		b.WriteString(strconv.FormatUint(uint64(m), 16))
+	}
+	return b.String()
+}
+
+// validSpecs names every decoder spec form Parse accepts, for errors.
+const validSpecs = "word, line, xor, tuned:<mask,mask,...>"
+
+// Parse returns the decoder a spec string names: "word" (the default
+// when the spec is empty), "line", "xor", or "tuned:<mask,...>" with
+// one hex or decimal bank-word parity mask per bank bit (trailing zero
+// masks may be omitted). Every decoder-selection path — Config.AddrMap,
+// both CLIs, the sweep harness, the journal config hash — routes
+// through here, so an unknown spec fails the same way everywhere, with
+// the valid forms in the error.
+func Parse(spec string, channels, banks, lineWords uint32) (Decoder, error) {
+	switch spec {
+	case "", "word":
+		return NewWordInterleave(channels, banks)
+	case "line":
+		return NewLineInterleave(channels, banks, lineWords)
+	case "xor":
+		return NewXORBank(channels, banks)
+	}
+	if rest, ok := strings.CutPrefix(spec, "tuned:"); ok {
+		masks, err := parseMasks(rest)
+		if err != nil {
+			return nil, fmt.Errorf("addrmap: bad tuned spec %q: %w", spec, err)
+		}
+		return NewTuned(channels, banks, masks)
+	}
+	return nil, fmt.Errorf("addrmap: unknown decoder %q (valid: %s)", spec, validSpecs)
+}
+
+// parseMasks splits a comma-separated mask list ("0x9,0x12,4,0").
+func parseMasks(s string) ([]uint32, error) {
+	if s == "" {
+		return nil, fmt.Errorf("no masks")
+	}
+	parts := strings.Split(s, ",")
+	masks := make([]uint32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mask %d: %v", i, err)
+		}
+		masks[i] = uint32(v)
+	}
+	return masks, nil
+}
+
+// Spec returns the canonical spec string of a decoder: the full
+// "tuned:..." form for Tuned, the bare name otherwise. Parse(Spec(d))
+// reconstructs an identical decoder.
+func Spec(d Decoder) string {
+	if t, ok := d.(*Tuned); ok {
+		return t.String()
+	}
+	return d.Name()
+}
+
+// Canonical parses a spec and returns its canonical string form, so two
+// spellings of the same decoder ("", "word"; "tuned:4,0,0,0",
+// "tuned:0x4") hash identically in sweep journals.
+func Canonical(spec string, channels, banks, lineWords uint32) (string, error) {
+	d, err := Parse(spec, channels, banks, lineWords)
+	if err != nil {
+		return "", err
+	}
+	return Spec(d), nil
+}

@@ -1,0 +1,145 @@
+package autotune
+
+import (
+	"testing"
+
+	"pva/internal/addrmap"
+	"pva/internal/memsys"
+	"pva/internal/pvaunit"
+)
+
+func mustParse(t *testing.T, spec string, channels, banks uint32) addrmap.Decoder {
+	t.Helper()
+	d, err := addrmap.Parse(spec, channels, banks, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAutotuneRecoverWord(t *testing.T) {
+	d := mustParse(t, "word", 1, 16)
+	got, err := Recover(DecoderOracle{D: d}, 1, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, m := range got.Masks {
+		if m != 0 {
+			t.Fatalf("word decoder recovered nonzero mask %d: %#x (spec %s)", j, m, got)
+		}
+	}
+}
+
+func TestAutotuneRecoverXOR(t *testing.T) {
+	for _, shape := range []struct{ c, m uint32 }{{1, 16}, {2, 8}, {4, 16}} {
+		d := mustParse(t, "xor", shape.c, shape.m)
+		got, err := Recover(DecoderOracle{D: d}, shape.c, shape.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := addrmap.NewTuned(shape.c, shape.m, addrmap.XORFoldMasks(shape.c, shape.m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("c=%d m=%d: recovered %s, want %s", shape.c, shape.m, got, want)
+		}
+	}
+}
+
+// TestAutotuneRecoverTuned round-trips random tuned decoders: the
+// interleave ruler pins the bank labeling, so recovery must be exact.
+func TestAutotuneRecoverTuned(t *testing.T) {
+	seed := uint64(99)
+	for trial := 0; trial < 4; trial++ {
+		masks := make([]uint32, 4)
+		for j := range masks {
+			masks[j] = uint32(splitmix64(&seed)) & 0xffff
+		}
+		d, err := addrmap.NewTuned(1, 16, masks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Recover(DecoderOracle{D: d}, 1, 16, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != d.String() {
+			t.Fatalf("trial %d: recovered %s, want %s", trial, got, d)
+		}
+		orig, rec := DecoderOracle{D: d}, DecoderOracle{D: got}
+		for i := 0; i < 2000; i++ {
+			a := uint32(splitmix64(&seed))
+			b := uint32(splitmix64(&seed))
+			if orig.SameUnit(a, b) != rec.SameUnit(a, b) {
+				t.Fatalf("trial %d: recovered %s disagrees with %s on (%#x, %#x)", trial, got, d, a, b)
+			}
+		}
+	}
+}
+
+func TestAutotuneRecoverRejectsBadShape(t *testing.T) {
+	d := mustParse(t, "word", 1, 16)
+	if _, err := Recover(DecoderOracle{D: d}, 3, 16, 0); err == nil {
+		t.Fatal("non-power-of-two channels accepted")
+	}
+	if _, err := Recover(DecoderOracle{D: d}, 1, 0, 0); err == nil {
+		t.Fatal("zero banks accepted")
+	}
+}
+
+// timingSystem builds the fresh-system factory the TimingOracle probes:
+// the paper's PVA/SDRAM machine under the given decoder.
+func timingSystem(d addrmap.Decoder) func() (memsys.System, error) {
+	return func() (memsys.System, error) {
+		cfg := pvaunit.PaperConfig()
+		cfg.Decoder = d
+		return pvaunit.New(cfg)
+	}
+}
+
+// TestAutotuneTimingOracle recovers decoders from measured cycle counts
+// alone and checks the result matches what the direct decoder oracle
+// recovers over the same probe window.
+func TestAutotuneTimingOracle(t *testing.T) {
+	const probeBits = 6
+	for _, spec := range []string{"word", "xor", "tuned:0x9,0x12,0x24,0x3"} {
+		d := mustParse(t, spec, 1, 16)
+		want, err := Recover(DecoderOracle{D: d}, 1, 16, probeBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := &TimingOracle{NewSystem: timingSystem(d)}
+		got, err := Recover(to, 1, 16, probeBits)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if to.Err != nil {
+			t.Fatalf("%s: measurement failed: %v", spec, to.Err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%s: timing recovery %s, decoder-oracle recovery %s", spec, got, want)
+		}
+	}
+}
+
+// TestAutotuneTimingOracleAgreement spot-checks the raw classifier: the
+// timing threshold must reproduce the decoder's same-unit relation on
+// the probe addresses the recoverer actually uses.
+func TestAutotuneTimingOracleAgreement(t *testing.T) {
+	d := mustParse(t, "xor", 1, 16)
+	ref := DecoderOracle{D: d}
+	to := &TimingOracle{NewSystem: timingSystem(d)}
+	for i := uint(0); i < 5; i++ {
+		for j := uint(0); j < 5; j++ {
+			a := uint32(1) << (i + 4) // interleave bits zero, like Recover's probes
+			b := uint32(1) << (j + 4)
+			if got, want := to.SameUnit(a, b), ref.SameUnit(a, b); got != want {
+				t.Fatalf("pair (%#x, %#x): timing says %v, decoder says %v", a, b, got, want)
+			}
+		}
+	}
+	if to.Err != nil {
+		t.Fatal(to.Err)
+	}
+}

@@ -1,0 +1,102 @@
+// The decode-only surrogate: a cheap stand-in for the cycle-accurate
+// simulator that ranks address decoders by the conflict structure they
+// give a recorded address trace. Evaluating a candidate costs one
+// Decode per element — thousands of times cheaper than a full timing
+// simulation — which is what lets the search walk the XOR-hash space
+// greedily and keep the expensive simulator for the few survivors.
+//
+// The cost model charges exactly the two effects the PVA's performance
+// hinges on:
+//
+//   - Serialization floor: a vector command finishes no sooner than its
+//     most-loaded (channel, bank) unit, one column access per claimed
+//     element. Each command contributes its maximum per-unit claim.
+//   - Row churn: an access leaving the open row of its internal bank
+//     pays precharge + activate. Row state is tracked per (channel,
+//     bank, internal bank) across the whole trace, matching the
+//     device's open-row behavior between commands.
+//
+// The surrogate is a ranking heuristic, not a cycle predictor: the
+// search promotes its best candidates to the real simulator before
+// declaring a winner (see Search).
+
+package autotune
+
+import (
+	"pva/internal/addr"
+	"pva/internal/addrmap"
+	"pva/internal/kernels"
+)
+
+// rowSwitchWeight is the surrogate's charge for an access that misses
+// the open row of its internal bank, in column-access units. With the
+// paper's 2-2-2 timing a conflict costs precharge + activate on top of
+// the column access; 4 keeps the two effects on comparable scales.
+const rowSwitchWeight = 4
+
+// scorer evaluates the surrogate cost of decoders over a fixed set of
+// captured traces, reusing its scratch state across evaluations so a
+// greedy search allocates nothing per candidate. Not safe for
+// concurrent use; the search scores candidates on one goroutine.
+type scorer struct {
+	traces  []kernels.AddressTrace
+	geom    addr.SDRAMGeom
+	claims  []uint32 // per (channel*banks + bank) elements this command
+	touched []uint32 // units claimed this command, for sparse reset
+	lastRow []uint32 // per (unit*internalBanks + ibank) open row
+}
+
+// newScorer sizes the scratch state for decoders with the given
+// channel/bank shape over the captured traces.
+func newScorer(traces []kernels.AddressTrace, geom addr.SDRAMGeom, channels, banks uint32) *scorer {
+	units := channels * banks
+	return &scorer{
+		traces:  traces,
+		geom:    geom,
+		claims:  make([]uint32, units),
+		touched: make([]uint32, 0, units),
+		lastRow: make([]uint32, units*geom.InternalBanks),
+	}
+}
+
+// cost returns the surrogate cost of running every captured trace under
+// the decoder, lower is better. Row state resets between traces — each
+// trace models an independent run from a warm-restored checkpoint.
+func (s *scorer) cost(d addrmap.Decoder) uint64 {
+	banks := d.Banks()
+	ib := s.geom.InternalBanks
+	var total uint64
+	for _, tr := range s.traces {
+		for i := range s.lastRow {
+			s.lastRow[i] = ^uint32(0)
+		}
+		for _, cmd := range tr.Cmds {
+			var maxClaim uint32
+			for _, a := range cmd {
+				co := d.Decode(a)
+				u := co.Channel*banks + co.Bank
+				if s.claims[u] == 0 {
+					s.touched = append(s.touched, u)
+				}
+				s.claims[u]++
+				if s.claims[u] > maxClaim {
+					maxClaim = s.claims[u]
+				}
+				dc := s.geom.Decompose(co.BankWord)
+				slot := u*ib + dc.IBank
+				if s.lastRow[slot] != dc.Row {
+					if s.lastRow[slot] != ^uint32(0) {
+						total += rowSwitchWeight
+					}
+					s.lastRow[slot] = dc.Row
+				}
+			}
+			total += uint64(maxClaim)
+			for _, u := range s.touched {
+				s.claims[u] = 0
+			}
+			s.touched = s.touched[:0]
+		}
+	}
+	return total
+}

@@ -40,13 +40,17 @@ import (
 	"pva/internal/fault"
 )
 
-// groupTask is one group step dispatched to the shared pool.
+// groupTask is one unit of pool work: a group step, or (when fn is
+// non-nil) a plain function call submitted through Go. One struct keeps
+// the group-step path allocation-free — the fn field rides along unused
+// in the steady state.
 type groupTask struct {
 	g      Group
 	cycle  uint64
 	strict bool
 	res    *groupResult
 	wg     *sync.WaitGroup
+	fn     func()
 }
 
 // groupResult is a per-group outcome slot, owned by one engine and
@@ -83,9 +87,26 @@ func poolTasks() chan groupTask {
 
 func poolWorker(ch chan groupTask) {
 	for t := range ch {
+		if t.fn != nil {
+			t.fn()
+			t.wg.Done()
+			continue
+		}
 		t.res.next, t.res.err = stepGroupSafe(t.g, t.cycle, t.strict)
 		t.wg.Done()
 	}
+}
+
+// Go runs fn on the shared step pool and calls wg.Done when it returns.
+// It is the engine's generic fan-out primitive (the autotuner's
+// candidate evaluations use it), sharing the same bounded worker set as
+// parallel group stepping so total process concurrency stays capped at
+// GOMAXPROCS. The no-deadlock rule extends to fn: it must not submit
+// pool work of its own (a serial-engine simulation inside fn is fine; a
+// ParallelChannels one is not). fn is responsible for capturing its own
+// results and errors.
+func Go(fn func(), wg *sync.WaitGroup) {
+	poolTasks() <- groupTask{fn: fn, wg: wg}
 }
 
 // stepGroupSafe converts an invariant panic inside a group's tick into

@@ -125,8 +125,9 @@ type Runner struct {
 	// Channels selects multi-channel system variants; 0 or 1 is the
 	// paper's single-channel configuration.
 	Channels uint32
-	// AddrMap names the address decoder ("word", "line", "xor"); empty
-	// means the paper's word interleave.
+	// AddrMap names the address decoder ("word", "line", "xor", or a
+	// "tuned:<mask,...>" XOR-hash spec); empty means the paper's word
+	// interleave.
 	AddrMap string
 	// Fault selects deterministic fault injection for the PVA systems
 	// under sweep (the serial baselines model no fault machinery and
@@ -186,7 +187,7 @@ func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 		} else if err := pvaunit.ApplyTech(&cfg, r.Tech, r.Subarrays, r.Partitions); err != nil {
 			return nil, err
 		}
-		dec, err := addrmap.New(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
+		dec, err := addrmap.Parse(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
 		if err != nil {
 			return nil, err
 		}
@@ -198,11 +199,17 @@ func (r Runner) newSystem(k SystemKind) (memsys.System, error) {
 		return pvaunit.New(cfg)
 	case CacheLineSerial:
 		// A line-fill system parallelizes at line granularity whatever the
-		// PVA decoder is; only the channel count matters.
+		// PVA decoder is; only the channel count matters — but the spec
+		// must still parse, so a mistyped -addrmap fails here exactly as
+		// it does on every other system instead of being silently ignored.
+		cfg := pvaunit.PaperConfig()
+		if _, err := addrmap.Parse(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords); err != nil {
+			return nil, err
+		}
 		return baseline.NewCacheLineSerialChannels(r.channels()), nil
 	case GatheringSerial:
 		cfg := pvaunit.PaperConfig()
-		dec, err := addrmap.New(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
+		dec, err := addrmap.Parse(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
 		if err != nil {
 			return nil, err
 		}

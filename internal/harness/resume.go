@@ -31,9 +31,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pva/internal/addrmap"
 	"pva/internal/ckptio"
 	"pva/internal/kernels"
 	"pva/internal/memsys"
+	"pva/internal/pvaunit"
 )
 
 // Typed failure-isolation errors; match with errors.Is.
@@ -299,11 +301,18 @@ func (r Runner) configKey(jobs []job) []string {
 	return parts
 }
 
+// addrMapName canonicalizes the decoder spec for the journal hash, so
+// two spellings of one decoder ("", "word"; "tuned:4", "tuned:0x4,0,0,0")
+// resume each other's journals. An unparseable spec passes through
+// verbatim — system construction rejects it with the real error before
+// any journal binds to it.
 func (r Runner) addrMapName() string {
-	if r.AddrMap == "" {
-		return "word"
+	cfg := pvaunit.PaperConfig()
+	canon, err := addrmap.Canonical(r.AddrMap, r.channels(), cfg.Banks, cfg.LineWords)
+	if err != nil {
+		return r.AddrMap
 	}
-	return r.AddrMap
+	return canon
 }
 
 func (r Runner) techName() string {

@@ -118,8 +118,10 @@ type Config struct {
 	Channels uint32
 	// AddrMap names the address-decode function splitting word addresses
 	// into (channel, bank, bank word): "word" (default; the paper's word
-	// interleave), "line" (line-granularity channel interleave), or
-	// "xor" (XOR-permutation bank hash).
+	// interleave), "line" (line-granularity channel interleave), "xor"
+	// (XOR-permutation bank hash), or a "tuned:<mask,mask,...>" XOR-hash
+	// spec with one bank-word parity mask per bank bit — typically the
+	// winner of an Autotune search (see ParseAddrMap).
 	AddrMap string
 
 	// SDRAM device geometry and timing.
@@ -253,6 +255,9 @@ func (c Config) Validate() error {
 	if c.LineWords&(c.LineWords-1) != 0 {
 		return fmt.Errorf("pva: LineWords=%d is not a power of two", c.LineWords)
 	}
+	if _, err := addrmap.Parse(c.AddrMap, c.Channels, c.Banks, c.LineWords); err != nil {
+		return fmt.Errorf("pva: %w", err)
+	}
 	if err := dramtech.ValidateSelection(c.Tech, c.SubarraysPerBank, c.Partitions); err != nil {
 		return fmt.Errorf("pva: %w", err)
 	}
@@ -271,7 +276,7 @@ func (c Config) toInternal(static bool) (pvaunit.Config, error) {
 	if err != nil {
 		return pvaunit.Config{}, err
 	}
-	dec, err := addrmap.New(c.AddrMap, c.Channels, c.Banks, c.LineWords)
+	dec, err := addrmap.Parse(c.AddrMap, c.Channels, c.Banks, c.LineWords)
 	if err != nil {
 		return pvaunit.Config{}, err
 	}
@@ -355,3 +360,22 @@ func NewGatheringSerial() System { return baseline.NewGatheringSerial() }
 // Reference returns the functional (zero-time) executor used to verify
 // the cycle-level systems.
 func Reference() System { return memsys.NewReference() }
+
+// ParseAddrMap validates an address-decoder spec against a channel
+// count and returns its canonical form ("word", "line", "xor", or the
+// full "tuned:0x...,..." mask list) on the paper's bank organization.
+// Every decoder-selection path — Config.AddrMap, the sweep harness,
+// both CLIs — accepts exactly the specs this accepts, and an unknown
+// spec is rejected with the valid forms listed. channels 0 means the
+// single-channel prototype.
+func ParseAddrMap(spec string, channels uint32) (string, error) {
+	if channels == 0 {
+		channels = 1
+	}
+	d := DefaultConfig()
+	canon, err := addrmap.Canonical(spec, channels, d.Banks, d.LineWords)
+	if err != nil {
+		return "", fmt.Errorf("pva: %w", err)
+	}
+	return canon, nil
+}
